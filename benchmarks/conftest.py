@@ -1,0 +1,47 @@
+"""Shared configuration for the benchmark harness.
+
+Each benchmark regenerates one paper table/figure at the ``smoke`` profile,
+prints the same rows/series the paper reports, and saves the formatted
+report under ``bench_results/``.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Pass ``--repro-profile=paper`` for the larger (much slower) scale.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "bench_results"
+
+
+def pytest_addoption(parser):
+    parser.addoption("--repro-profile", default="smoke",
+                     choices=("micro", "smoke", "paper"),
+                     help="scale profile for experiment benchmarks")
+
+
+@pytest.fixture(scope="session")
+def profile(request) -> str:
+    return request.config.getoption("--repro-profile")
+
+
+@pytest.fixture(scope="session")
+def save_report():
+    """Persist a formatted report and echo it to the terminal."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, text: str) -> None:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+
+    return _save
+
+
+def run_once(benchmark, fn):
+    """Execute a long experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

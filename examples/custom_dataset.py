@@ -1,0 +1,74 @@
+"""Bring your own dataset: run DECO on a custom synthetic task.
+
+The library's dataset layer is a thin contract — arrays plus a stream
+order — so plugging in your own data is one `DatasetSpec` (or, for real
+data, one `SyntheticImageDataset` built from your arrays).  This example
+builds a deliberately *hard* 12-class task with strong class confusability
+and heavy label-noise pressure, then shows how much of DECO's gain comes
+from the feature-discrimination loss in that regime.
+
+Run:  python examples/custom_dataset.py
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.buffer import SyntheticBuffer
+from repro.condensation import OneStepMatcher
+from repro.core import (DECOLearner, LearnerConfig, MajorityVotePseudoLabeler,
+                        condense_offline, evaluate_accuracy, train_model)
+from repro.data import DatasetSpec, make_dataset, make_stream
+from repro.nn import ConvNet
+
+
+def run_variant(dataset, alpha, seed):
+    """Stream the dataset through DECO with a given discrimination weight."""
+    rng = np.random.default_rng(seed)
+    model = ConvNet(dataset.channels, dataset.num_classes, dataset.image_size,
+                    width=12, depth=2, rng=rng)
+    pre_x, pre_y = dataset.pretrain_subset(0.2, rng=rng)
+    train_model(model, pre_x, pre_y, epochs=12, lr=1e-2, rng=rng)
+    start = evaluate_accuracy(model, dataset.x_test, dataset.y_test)
+
+    buffer = SyntheticBuffer(dataset.num_classes, 2, dataset.image_shape())
+    learner = DECOLearner(model, buffer,
+                          condenser=OneStepMatcher(iterations=5, alpha=alpha),
+                          labeler=MajorityVotePseudoLabeler(0.4),
+                          config=LearnerConfig(beta=4, train_epochs=8,
+                                               lr=1e-2),
+                          rng=rng)
+    condense_offline(buffer, pre_x, pre_y, condenser=learner.condenser,
+                     model_factory=learner.model_factory, rng=rng)
+    stream = make_stream(dataset, segment_size=10, stc=12, rng=seed)
+    history = learner.run(stream, x_test=dataset.x_test,
+                          y_test=dataset.y_test)
+    return start, history.final_accuracy
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    # A custom task: 12 classes packed into just 3 anchor groups with weak
+    # class separation -> pseudo-labels frequently land on sibling classes.
+    spec = DatasetSpec(
+        name="hard-siblings", num_classes=12, image_size=16, channels=3,
+        train_per_class=24, test_per_class=8,
+        num_groups=3, class_separation=0.35, noise_std=0.7, jitter=1)
+    dataset = make_dataset(spec, seed=0)
+    print(f"custom dataset: {spec.num_classes} classes in {spec.num_groups} "
+          f"confusable groups, separation {spec.class_separation}")
+    example = dataset.confusable_classes(0)
+    print(f"classes confusable with class 0: {example.tolist()}\n")
+
+    for alpha in (0.0, 0.1):
+        start, final = run_variant(dataset, alpha, args.seed)
+        tag = "with feature discrimination" if alpha else "without (alpha=0)"
+        print(f"alpha={alpha:<4} {tag:<32} "
+              f"pretrain {start:.2%} -> final {final:.2%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Majority-voting pseudo-labeling on a temporally correlated stream.
+
+Shows the mechanism behind Fig. 4a: how the filter threshold ``m`` trades
+the amount of retained data against the accuracy of the retained
+pseudo-labels, and why temporal correlation makes majority voting work
+(compare the STC stream against an i.i.d. control).
+
+Run:  python examples/pseudo_label_analysis.py [--profile micro|smoke]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.core import MajorityVotePseudoLabeler, train_model
+from repro.data import load_dataset, make_stream, measure_stc
+from repro.nn import ConvNet
+
+
+def analyze(model, stream, thresholds):
+    """Per-threshold (retained fraction, retained-label accuracy)."""
+    rows = {m: [0, 0, 0] for m in thresholds}  # kept, correct, total
+    for segment in stream:
+        for m in thresholds:
+            result = MajorityVotePseudoLabeler(m).label_segment(
+                model, segment.images)
+            correct = result.labels == segment.hidden_labels
+            rows[m][0] += int(result.keep.sum())
+            rows[m][1] += int(correct[result.keep].sum())
+            rows[m][2] += len(segment)
+    return {m: (kept / total, (corr / kept) if kept else float("nan"))
+            for m, (kept, corr, total) in rows.items()}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--profile", default="micro",
+                        choices=("micro", "smoke"))
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    rng = np.random.default_rng(args.seed)
+    dataset = load_dataset("core50", args.profile, seed=0)
+    model = ConvNet(dataset.channels, dataset.num_classes, dataset.image_size,
+                    width=8 if args.profile == "micro" else 16, depth=2,
+                    rng=rng)
+    pre_x, pre_y = dataset.pretrain_subset(0.2, rng=rng)
+    train_model(model, pre_x, pre_y, epochs=10, lr=1e-2, rng=rng)
+
+    thresholds = (0.0, 0.2, 0.4, 0.6, 0.8)
+    for title, kwargs in (("session-ordered (temporally correlated)",
+                           {"session_ordered": True}),
+                          ("i.i.d. control", {})):
+        stream = make_stream(dataset, segment_size=8, rng=args.seed, **kwargs)
+        labels_in_order = np.concatenate(
+            [s.hidden_labels for s in stream])
+        print(f"\n{title}: measured STC = "
+              f"{measure_stc(labels_in_order):.1f}")
+        print(f"  {'m':>4}  {'retained':>9}  {'label acc':>9}")
+        for m, (retained, acc) in analyze(model, stream, thresholds).items():
+            acc_text = f"{acc:9.2%}" if not np.isnan(acc) else "      n/a"
+            print(f"  {m:>4.1f}  {retained:>9.2%}  {acc_text}")
+
+    print("\nOn the correlated stream, raising m discards data but cleans "
+          "the labels;\non the i.i.d. control, majority voting has no "
+          "majority to find, so high m\nthrows away almost everything — "
+          "temporal correlation is what the method exploits.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""Quickstart: on-device learning with DECO in ~30 lines of API.
+
+Builds a CORe50-like streaming scenario, deploys a pre-trained ConvNet with
+a one-image-per-class synthetic buffer, lets DECO learn from the unlabeled
+stream, and compares the result against a FIFO raw-sample buffer of the
+same size.
+
+Run:  python examples/quickstart.py [--profile micro|smoke] [--ipc 2]
+"""
+
+import argparse
+
+from repro.experiments import prepare_experiment, run_method
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--profile", default="smoke",
+                        choices=("micro", "smoke"),
+                        help="experiment scale (smoke shows the real gap; "
+                             "micro finishes in under a second)")
+    parser.add_argument("--ipc", type=int, default=2,
+                        help="synthetic images per class in the buffer")
+    parser.add_argument("--dataset", default="core50")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    print(f"Preparing {args.dataset} at profile {args.profile!r} ...")
+    prepared = prepare_experiment(args.dataset, args.profile, seed=args.seed)
+    print(f"  pre-trained model accuracy: {prepared.pretrain_accuracy:.2%}")
+    print(f"  buffer budget: {args.ipc} image(s) per class x "
+          f"{prepared.dataset.num_classes} classes")
+
+    print("\nStreaming with DECO (condensation buffer) ...")
+    deco = run_method(prepared, "deco", args.ipc, seed=args.seed)
+    print(f"  final accuracy: {deco.final_accuracy:.2%} "
+          f"({deco.wall_seconds:.1f}s, "
+          f"{deco.condense_passes} condensation passes)")
+
+    print("Streaming with FIFO (raw-sample buffer) ...")
+    fifo = run_method(prepared, "fifo", args.ipc, seed=args.seed)
+    print(f"  final accuracy: {fifo.final_accuracy:.2%} "
+          f"({fifo.wall_seconds:.1f}s)")
+
+    gain = deco.final_accuracy - fifo.final_accuracy
+    print(f"\nDECO vs FIFO at the same memory budget: {gain:+.2%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,20 @@
+"""DECO reproduction: memory-efficient on-device learning via dataset condensation.
+
+This package is a from-scratch reproduction of "Enabling Memory-Efficient
+On-Device Learning via Dataset Condensation" (Xu et al., DATE 2025) on a
+pure-numpy substrate.  Top-level subpackages:
+
+* :mod:`repro.nn` — autodiff engine, ConvNet/MLP backbones, optimizers, losses.
+* :mod:`repro.data` — synthetic dataset generators and non-i.i.d. stream builders.
+* :mod:`repro.buffer` — replay buffers and selection baselines.
+* :mod:`repro.condensation` — DECO one-step matching plus DC/DSA/DM baselines.
+* :mod:`repro.core` — pseudo-labeling, the DECO algorithm, learners, evaluation.
+* :mod:`repro.experiments` — runners that regenerate each paper table/figure.
+"""
+
+__version__ = "1.0.0"
+
+from . import buffer, condensation, core, data, experiments, nn, utils
+
+__all__ = ["nn", "data", "buffer", "condensation", "core", "experiments", "utils",
+           "__version__"]

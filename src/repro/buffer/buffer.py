@@ -1,0 +1,190 @@
+"""Replay buffers.
+
+Two kinds, matching the paper's comparison:
+
+* :class:`SyntheticBuffer` — DECO's buffer: a fixed, class-balanced set of
+  *synthetic* images (``IpC`` images per class) that is never evicted; its
+  pixels are the optimization variables of the condensation process.
+* :class:`RawBuffer` — the conventional buffer the selection baselines
+  (Random/FIFO/Selective-BP/K-Center/GSS-Greedy) maintain: a capacity-bound
+  set of raw stream samples with per-item metadata.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..utils.rng import to_rng
+
+__all__ = ["SyntheticBuffer", "RawBuffer"]
+
+
+class SyntheticBuffer:
+    """Class-balanced synthetic sample buffer (the condensed dataset ``S``).
+
+    Layout: row ``c * ipc + k`` holds the ``k``-th synthetic image of class
+    ``c``, so every class owns a contiguous block and the buffer is always
+    exactly class-balanced, as §III requires
+    (``|S_c| = |S| / |C|`` for every class).
+    """
+
+    def __init__(self, num_classes: int, ipc: int,
+                 image_shape: tuple[int, int, int]) -> None:
+        if num_classes < 1 or ipc < 1:
+            raise ValueError("num_classes and ipc must be positive")
+        self.num_classes = int(num_classes)
+        self.ipc = int(ipc)
+        self.image_shape = tuple(image_shape)
+        self.images = np.zeros((num_classes * ipc, *image_shape), dtype=np.float32)
+        self.labels = np.repeat(np.arange(num_classes, dtype=np.int64), ipc)
+
+    # -- capacity ----------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.labels)
+
+    @property
+    def capacity(self) -> int:
+        return len(self.labels)
+
+    @property
+    def memory_bytes(self) -> int:
+        """Bytes of image payload held on the device."""
+        return self.images.nbytes
+
+    # -- indexing ----------------------------------------------------------
+    def class_indices(self, c: int) -> np.ndarray:
+        """Row indices of class ``c``'s synthetic samples."""
+        if not 0 <= c < self.num_classes:
+            raise IndexError(f"class {c} out of range")
+        return np.arange(c * self.ipc, (c + 1) * self.ipc)
+
+    def indices_for_classes(self, classes) -> np.ndarray:
+        """Row indices for all samples of the given classes (sorted)."""
+        classes = sorted(set(int(c) for c in classes))
+        if not classes:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate([self.class_indices(c) for c in classes])
+
+    def images_for_class(self, c: int) -> np.ndarray:
+        return self.images[self.class_indices(c)]
+
+    # -- initialization ----------------------------------------------------
+    def init_random(self, rng: int | np.random.Generator | None = None,
+                    scale: float = 1.0) -> None:
+        """Fill the buffer with Gaussian noise (cold start)."""
+        rng = to_rng(rng)
+        self.images[:] = (rng.standard_normal(self.images.shape) * scale
+                          ).astype(np.float32)
+
+    def init_from_samples(self, x: np.ndarray, y: np.ndarray,
+                          rng: int | np.random.Generator | None = None,
+                          noise_scale: float = 1.0) -> None:
+        """Seed each class block from real samples of that class.
+
+        This is how the paper initializes the buffer from the (labeled)
+        pre-training data before condensation refines it.  Following
+        standard dataset-condensation practice, classes with fewer than
+        ``ipc`` real samples are padded with *perturbed duplicates* of the
+        available samples (pure noise only when a class has none at all) —
+        a far better starting point for gradient matching than noise.
+        """
+        rng = to_rng(rng)
+        y = np.asarray(y, dtype=np.int64)
+        for c in range(self.num_classes):
+            rows = self.class_indices(c)
+            members = np.flatnonzero(y == c)
+            take = min(self.ipc, members.size)
+            if take:
+                chosen = rng.choice(members, size=take, replace=False)
+                self.images[rows[:take]] = x[chosen]
+            missing = self.ipc - take
+            if missing > 0:
+                shape = (missing, *self.image_shape)
+                if members.size:
+                    duplicates = rng.choice(members, size=missing, replace=True)
+                    jitter = (rng.standard_normal(shape) * noise_scale * 0.1
+                              ).astype(np.float32)
+                    self.images[rows[take:]] = x[duplicates] + jitter
+                else:
+                    self.images[rows[take:]] = (
+                        rng.standard_normal(shape) * noise_scale
+                    ).astype(np.float32)
+
+    # -- consumption -------------------------------------------------------
+    def as_training_set(self) -> tuple[np.ndarray, np.ndarray]:
+        """Return (images, labels) copies for model training."""
+        return self.images.copy(), self.labels.copy()
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        return {"images": self.images.copy(), "labels": self.labels.copy()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        if state["images"].shape != self.images.shape:
+            raise ValueError("buffer shape mismatch")
+        self.images[:] = state["images"]
+
+
+class RawBuffer:
+    """Capacity-bound raw sample buffer for the selection baselines.
+
+    Items carry arbitrary float metadata (confidence, diversity score,
+    insertion order) in ``aux`` so each strategy can store what it needs.
+    """
+
+    def __init__(self, capacity: int, image_shape: tuple[int, int, int]) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = int(capacity)
+        self.image_shape = tuple(image_shape)
+        self.images = np.zeros((capacity, *image_shape), dtype=np.float32)
+        self.labels = np.zeros(capacity, dtype=np.int64)
+        self.aux: dict[str, np.ndarray] = {}
+        self.count = 0
+        self.total_seen = 0
+
+    def __len__(self) -> int:
+        return self.count
+
+    @property
+    def is_full(self) -> bool:
+        return self.count >= self.capacity
+
+    @property
+    def memory_bytes(self) -> int:
+        return self.images[: self.count].nbytes
+
+    def _ensure_aux(self, key: str) -> np.ndarray:
+        if key not in self.aux:
+            self.aux[key] = np.zeros(self.capacity, dtype=np.float32)
+        return self.aux[key]
+
+    def add(self, image: np.ndarray, label: int, **aux: float) -> int:
+        """Append an item (buffer must not be full); returns its slot."""
+        if self.is_full:
+            raise RuntimeError("buffer full; use replace()")
+        slot = self.count
+        self.images[slot] = image
+        self.labels[slot] = label
+        for key, value in aux.items():
+            self._ensure_aux(key)[slot] = value
+        self.count += 1
+        self.total_seen += 1
+        return slot
+
+    def replace(self, slot: int, image: np.ndarray, label: int, **aux: float) -> None:
+        """Overwrite an occupied slot with a new item."""
+        if not 0 <= slot < self.count:
+            raise IndexError(f"slot {slot} not occupied")
+        self.images[slot] = image
+        self.labels[slot] = label
+        for key, value in aux.items():
+            self._ensure_aux(key)[slot] = value
+        self.total_seen += 1
+
+    def get_aux(self, key: str) -> np.ndarray:
+        """Metadata values for the occupied slots."""
+        return self._ensure_aux(key)[: self.count]
+
+    def as_training_set(self) -> tuple[np.ndarray, np.ndarray]:
+        """Return (images, labels) copies of the occupied slots."""
+        return self.images[: self.count].copy(), self.labels[: self.count].copy()

@@ -1,0 +1,320 @@
+"""Buffer-selection baselines the paper compares against (Table I).
+
+Five strategies, all operating on a shared :class:`~repro.buffer.buffer.RawBuffer`:
+
+* :class:`RandomReservoir` — reservoir sampling [9]: each stream sample ends
+  up in the buffer with equal probability.
+* :class:`FIFO` — replace the oldest stored sample [22].
+* :class:`SelectiveBP` — keep the samples the model is *least* confident on
+  [40, 41]: a new sample evicts the most confident stored one if the new
+  confidence is lower.
+* :class:`KCenter` — greedy k-center in the encoder feature space [42, 43]:
+  keep the subset minimizing the largest distance from any kept sample to
+  its nearest center.
+* :class:`GSSGreedy` — gradient-based sample selection [10, 44]: prefer
+  samples whose loss gradients are dissimilar from those already stored,
+  using last-layer gradient embeddings.
+
+Each strategy consumes one pseudo-labeled segment at a time via
+:meth:`SelectionStrategy.process_segment`.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from ..nn import functional as F
+from ..nn.tensor import Tensor, no_grad
+from ..utils.rng import to_rng
+from .buffer import RawBuffer
+
+__all__ = ["SelectionStrategy", "RandomReservoir", "FIFO", "SelectiveBP",
+           "KCenter", "GSSGreedy", "Herding", "make_strategy",
+           "STRATEGY_NAMES", "EXTRA_STRATEGY_NAMES"]
+
+
+class SelectionStrategy(abc.ABC):
+    """Interface: decide which raw samples to keep in a bounded buffer."""
+
+    name: str = "base"
+
+    @abc.abstractmethod
+    def process_segment(self, buffer: RawBuffer, images: np.ndarray,
+                        labels: np.ndarray, confidences: np.ndarray, *,
+                        model=None,
+                        rng: int | np.random.Generator | None = None) -> None:
+        """Offer one segment of (pseudo-labeled) samples to the buffer.
+
+        Parameters
+        ----------
+        buffer:
+            The raw buffer to maintain.
+        images, labels, confidences:
+            The segment's samples, their pseudo-labels, and the model's
+            confidence in each pseudo-label.
+        model:
+            The deployed model (used by feature/gradient-based strategies).
+        rng:
+            Randomness source.
+        """
+
+
+class RandomReservoir(SelectionStrategy):
+    """Vitter's reservoir sampling: uniform retention over the whole stream."""
+
+    name = "random"
+
+    def process_segment(self, buffer, images, labels, confidences, *,
+                        model=None, rng=None):
+        rng = to_rng(rng)
+        for x, y in zip(images, labels):
+            if not buffer.is_full:
+                buffer.add(x, int(y))
+                continue
+            j = int(rng.integers(0, buffer.total_seen + 1))
+            if j < buffer.capacity:
+                buffer.replace(j, x, int(y))
+            else:
+                buffer.total_seen += 1
+
+
+class FIFO(SelectionStrategy):
+    """First-in first-out replacement: always evict the oldest sample."""
+
+    name = "fifo"
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def process_segment(self, buffer, images, labels, confidences, *,
+                        model=None, rng=None):
+        for x, y in zip(images, labels):
+            if not buffer.is_full:
+                buffer.add(x, int(y))
+            else:
+                buffer.replace(self._next % buffer.capacity, x, int(y))
+                self._next += 1
+
+
+class SelectiveBP(SelectionStrategy):
+    """Store the lowest-confidence samples (hard examples) [40, 41]."""
+
+    name = "selective_bp"
+
+    def process_segment(self, buffer, images, labels, confidences, *,
+                        model=None, rng=None):
+        for x, y, conf in zip(images, labels, confidences):
+            if not buffer.is_full:
+                buffer.add(x, int(y), confidence=float(conf))
+                continue
+            stored = buffer.get_aux("confidence")
+            worst = int(stored.argmax())
+            if conf < stored[worst]:
+                buffer.replace(worst, x, int(y), confidence=float(conf))
+
+
+def _encode(model, images: np.ndarray, batch: int = 256) -> np.ndarray:
+    """Encoder features for a sample array, without recording the graph."""
+    feats = []
+    with no_grad():
+        for start in range(0, len(images), batch):
+            feats.append(model.features(Tensor(images[start:start + batch])).data)
+    return np.concatenate(feats)
+
+
+class KCenter(SelectionStrategy):
+    """Greedy k-center coverage of the feature space [42, 43].
+
+    On each segment, pools the buffer contents with the new samples, runs
+    greedy farthest-point selection down to capacity, and keeps the chosen
+    subset.
+    """
+
+    name = "k_center"
+
+    def process_segment(self, buffer, images, labels, confidences, *,
+                        model=None, rng=None):
+        if model is None:
+            raise ValueError("KCenter requires the deployed model for features")
+        rng = to_rng(rng)
+        old_x, old_y = buffer.as_training_set()
+        pool_x = np.concatenate([old_x, images]) if len(old_x) else np.asarray(images)
+        pool_y = np.concatenate([old_y, labels]) if len(old_y) else np.asarray(labels)
+        if len(pool_x) <= buffer.capacity:
+            buffer.count = 0
+            for x, y in zip(pool_x, pool_y):
+                buffer.add(x, int(y))
+            return
+
+        feats = _encode(model, pool_x)
+        chosen = self._greedy_k_center(feats, buffer.capacity, rng)
+        buffer.count = 0
+        for i in chosen:
+            buffer.add(pool_x[i], int(pool_y[i]))
+
+    @staticmethod
+    def _greedy_k_center(feats: np.ndarray, k: int,
+                         rng: np.random.Generator) -> list[int]:
+        """Farthest-point greedy selection of ``k`` indices."""
+        n = len(feats)
+        first = int(rng.integers(n))
+        chosen = [first]
+        dist = np.linalg.norm(feats - feats[first], axis=1)
+        for _ in range(k - 1):
+            nxt = int(dist.argmax())
+            chosen.append(nxt)
+            dist = np.minimum(dist, np.linalg.norm(feats - feats[nxt], axis=1))
+        return chosen
+
+
+class GSSGreedy(SelectionStrategy):
+    """Gradient-based sample selection (greedy variant) [10].
+
+    Uses last-layer gradient embeddings: the gradient of the cross-entropy
+    w.r.t. the classifier weights for sample ``i`` is the outer product
+    ``(p_i - onehot(y_i)) f_i^T``, so cosine similarity between two sample
+    gradients factorizes as ``cos(e_i, e_j) * cos(f_i, f_j)`` — cheap to
+    evaluate without materializing full gradients.
+    """
+
+    name = "gss_greedy"
+
+    def __init__(self, candidate_subset: int = 16) -> None:
+        self.candidate_subset = int(candidate_subset)
+        self._errors: np.ndarray | None = None  # (capacity, C) e-vectors
+        self._feats: np.ndarray | None = None   # (capacity, D) f-vectors
+
+    def _grad_embedding(self, model, images, labels):
+        """Per-sample (error, feature) pair defining the last-layer gradient."""
+        with no_grad():
+            feats = model.features(Tensor(np.asarray(images))).data
+            logits = model.classifier(Tensor(feats)).data
+        probs = F.softmax(Tensor(logits), axis=1).data
+        errors = probs.copy()
+        errors[np.arange(len(labels)), np.asarray(labels, dtype=np.int64)] -= 1.0
+        return errors, feats
+
+    @staticmethod
+    def _cos(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        na = np.linalg.norm(a, axis=-1, keepdims=True) + 1e-12
+        nb = np.linalg.norm(b, axis=-1, keepdims=True) + 1e-12
+        return (a / na) @ (b / nb).T
+
+    def process_segment(self, buffer, images, labels, confidences, *,
+                        model=None, rng=None):
+        if model is None:
+            raise ValueError("GSSGreedy requires the deployed model for gradients")
+        rng = to_rng(rng)
+        if self._errors is None:
+            self._errors = np.zeros((buffer.capacity, model.num_classes), dtype=np.float32)
+            self._feats = np.zeros((buffer.capacity, model.feature_dim), dtype=np.float32)
+        errors, feats = self._grad_embedding(model, images, labels)
+
+        for x, y, e, f in zip(images, labels, errors, feats):
+            if not buffer.is_full:
+                score = self._max_similarity(e, f, buffer, rng) if len(buffer) else 0.0
+                slot = buffer.add(x, int(y), gss_score=score + 1.0)
+                self._errors[slot] = e
+                self._feats[slot] = f
+                continue
+            c_new = self._max_similarity(e, f, buffer, rng) + 1.0  # in [0, 2]
+            scores = buffer.get_aux("gss_score")
+            total = float(scores.sum())
+            if total > 0:
+                probs = scores / total
+            else:  # e.g. buffer seeded externally without scores
+                probs = np.full(len(scores), 1.0 / len(scores))
+            victim = int(rng.choice(len(probs), p=probs))
+            if rng.random() < scores[victim] / (scores[victim] + c_new + 1e-12):
+                buffer.replace(victim, x, int(y), gss_score=c_new)
+                self._errors[victim] = e
+                self._feats[victim] = f
+
+    def _max_similarity(self, e, f, buffer, rng) -> float:
+        """Max gradient-cosine similarity to a random buffered subset."""
+        n = len(buffer)
+        if n == 0:
+            return 0.0
+        subset = rng.choice(n, size=min(self.candidate_subset, n), replace=False)
+        sim = (self._cos(e[None], self._errors[subset])
+               * self._cos(f[None], self._feats[subset]))
+        return float(sim.max())
+
+
+class Herding(SelectionStrategy):
+    """iCaRL-style herding selection [23] (beyond the paper's five baselines).
+
+    Keeps, per class, the samples whose running feature mean best tracks
+    the class's true feature mean: on each segment the buffer's samples of
+    every class present are re-selected greedily so that the partial means
+    of the kept set approach the class mean, with the per-class quota
+    fixed at capacity / num_classes.
+    """
+
+    name = "herding"
+
+    def __init__(self) -> None:
+        self._pool_x: dict[int, list[np.ndarray]] = {}
+
+    @staticmethod
+    def _herd(feats: np.ndarray, quota: int) -> list[int]:
+        """Greedy herding order: argmin ||mean - running_mean||."""
+        mean = feats.mean(axis=0)
+        chosen: list[int] = []
+        running = np.zeros_like(mean)
+        available = set(range(len(feats)))
+        for k in range(min(quota, len(feats))):
+            best, best_dist = -1, np.inf
+            for i in available:
+                candidate = (running * k + feats[i]) / (k + 1)
+                dist = float(np.linalg.norm(mean - candidate))
+                if dist < best_dist:
+                    best, best_dist = i, dist
+            chosen.append(best)
+            available.remove(best)
+            running = (running * k + feats[best]) / (k + 1)
+        return chosen
+
+    def process_segment(self, buffer, images, labels, confidences, *,
+                        model=None, rng=None):
+        if model is None:
+            raise ValueError("Herding requires the deployed model for features")
+        quota = max(1, buffer.capacity // model.num_classes)
+        for x, y in zip(images, labels):
+            self._pool_x.setdefault(int(y), []).append(x)
+        # Bound the per-class candidate pool so memory stays O(buffer).
+        for cls, pool in self._pool_x.items():
+            if len(pool) > 4 * quota:
+                feats = _encode(model, np.stack(pool))
+                keep = self._herd(feats, 2 * quota)
+                self._pool_x[cls] = [pool[i] for i in keep]
+        # Re-select the buffer contents from the herded pools.
+        buffer.count = 0
+        for cls, pool in sorted(self._pool_x.items()):
+            feats = _encode(model, np.stack(pool))
+            for i in self._herd(feats, quota):
+                if buffer.is_full:
+                    return
+                buffer.add(pool[i], cls)
+
+
+STRATEGY_NAMES = ("random", "fifo", "selective_bp", "k_center", "gss_greedy")
+EXTRA_STRATEGY_NAMES = ("herding",)
+
+
+def make_strategy(name: str, **kwargs) -> SelectionStrategy:
+    """Instantiate a selection baseline by its registry name."""
+    factories = {
+        "random": RandomReservoir,
+        "fifo": FIFO,
+        "selective_bp": SelectiveBP,
+        "k_center": KCenter,
+        "gss_greedy": GSSGreedy,
+        "herding": Herding,
+    }
+    if name not in factories:
+        raise KeyError(f"unknown strategy {name!r}; available: "
+                       f"{STRATEGY_NAMES + EXTRA_STRATEGY_NAMES}")
+    return factories[name](**kwargs)

@@ -1,0 +1,142 @@
+"""Command-line interface: regenerate any paper experiment from the shell.
+
+Usage::
+
+    python -m repro table1 --datasets core50 --ipcs 1 5
+    python -m repro table2
+    python -m repro fig2
+    python -m repro fig3
+    python -m repro fig4a
+    python -m repro fig4b
+    python -m repro ablations
+    python -m repro run --method deco --dataset core50 --ipc 10
+
+Every subcommand accepts ``--profile micro|smoke|paper`` and ``--seed`` and
+prints the paper-style report; ``--output`` additionally writes it to a
+file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+from .experiments import (format_ablations, format_fig2, format_fig3,
+                          format_fig4a, format_fig4b, format_table1,
+                          format_table2, prepare_experiment, run_ablations,
+                          run_fig2, run_fig3, run_fig4a, run_fig4b,
+                          run_method, run_table1, run_table2)
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DECO (DATE 2025) reproduction experiment runner")
+    parser.add_argument("--profile", default="smoke",
+                        choices=("micro", "smoke", "paper"))
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--output", type=pathlib.Path, default=None,
+                        help="also write the report to this file")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    t1 = sub.add_parser("table1", help="Table I: accuracy comparison")
+    t1.add_argument("--datasets", nargs="+",
+                    default=["icub1", "core50", "cifar100", "imagenet10"])
+    t1.add_argument("--ipcs", nargs="+", type=int, default=[1, 5, 10, 50])
+    t1.add_argument("--seeds", nargs="+", type=int, default=None,
+                    help="override the trial seeds (default: profile seeds)")
+
+    t2 = sub.add_parser("table2", help="Table II: condensation time")
+    t2.add_argument("--ipcs", nargs="+", type=int, default=[1, 5, 10, 50])
+    t2.add_argument("--condensers", nargs="+",
+                    default=["dc", "dsa", "dm", "deco"])
+
+    sub.add_parser("fig2", help="Fig. 2: misclassification structure")
+
+    f3 = sub.add_parser("fig3", help="Fig. 3: learning curves")
+    f3.add_argument("--ipc", type=int, default=10)
+
+    f4a = sub.add_parser("fig4a", help="Fig. 4a: filter threshold sweep")
+    f4a.add_argument("--ipc", type=int, default=10)
+
+    f4b = sub.add_parser("fig4b", help="Fig. 4b: alpha sweep")
+    f4b.add_argument("--ipcs", nargs="+", type=int, default=[5, 10])
+
+    sub.add_parser("ablations", help="design-choice ablations")
+
+    noise = sub.add_parser("noise", help="pseudo-label noise robustness")
+    noise.add_argument("--ipc", type=int, default=10)
+    noise.add_argument("--noise-rates", nargs="+", type=float,
+                       default=[0.0, 0.2, 0.4])
+
+    run = sub.add_parser("run", help="run a single method once")
+    run.add_argument("--method", default="deco")
+    run.add_argument("--dataset", default="core50")
+    run.add_argument("--ipc", type=int, default=10)
+    run.add_argument("--condenser", default="deco",
+                     choices=("deco", "dc", "dsa", "dm"))
+    return parser
+
+
+def _dispatch(args: argparse.Namespace) -> str:
+    if args.command == "table1":
+        from .experiments.profiles import get_profile
+        seeds = (tuple(args.seeds) if args.seeds is not None
+                 else tuple(range(get_profile(args.profile).num_seeds)))
+        result = run_table1(datasets=tuple(args.datasets),
+                            ipcs=tuple(args.ipcs), profile=args.profile,
+                            seeds=seeds)
+        return format_table1(result)
+    if args.command == "table2":
+        result = run_table2(ipcs=tuple(args.ipcs),
+                            condensers=tuple(args.condensers),
+                            profile=args.profile, seed=args.seed)
+        return format_table2(result)
+    if args.command == "fig2":
+        return format_fig2(run_fig2(profile=args.profile, seed=args.seed))
+    if args.command == "fig3":
+        return format_fig3(run_fig3(ipc=args.ipc, profile=args.profile,
+                                    seed=args.seed))
+    if args.command == "fig4a":
+        return format_fig4a(run_fig4a(ipc=args.ipc, profile=args.profile,
+                                      seed=args.seed))
+    if args.command == "fig4b":
+        return format_fig4b(run_fig4b(ipcs=tuple(args.ipcs),
+                                      profile=args.profile, seed=args.seed))
+    if args.command == "ablations":
+        return format_ablations(run_ablations(profile=args.profile,
+                                              seeds=(args.seed,)))
+    if args.command == "noise":
+        from .experiments import format_noise_robustness, run_noise_robustness
+        return format_noise_robustness(run_noise_robustness(
+            ipc=args.ipc, noise_rates=tuple(args.noise_rates),
+            profile=args.profile, seed=args.seed))
+    if args.command == "run":
+        prepared = prepare_experiment(args.dataset, args.profile,
+                                      seed=args.seed)
+        result = run_method(prepared, args.method, args.ipc, seed=args.seed,
+                            condenser_name=args.condenser)
+        return (f"{result.method} on {args.dataset} (IpC={args.ipc}): "
+                f"accuracy {result.final_accuracy:.2%} in "
+                f"{result.wall_seconds:.1f}s "
+                f"(condensation {result.condense_seconds:.1f}s, "
+                f"{result.condense_passes} passes)")
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    report = _dispatch(args)
+    print(report)
+    if args.output is not None:
+        args.output.write_text(report + "\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

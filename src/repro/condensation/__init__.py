@@ -1,0 +1,34 @@
+"""Dataset condensation methods: DECO one-step matching and DC/DSA/DM baselines."""
+
+from .base import CondensationMethod, CondensationStats, ModelFactory
+from .dc import DCMatcher
+from .dm import DMMatcher
+from .dsa import DSAMatcher
+from .matching import (distance_and_grad_wrt_gsyn,
+                       finite_difference_matching_grad, input_gradient,
+                       parameter_gradients)
+from .one_step import OneStepMatcher
+
+CONDENSER_NAMES = ("deco", "dc", "dsa", "dm")
+
+
+def make_condenser(name: str, **kwargs) -> CondensationMethod:
+    """Instantiate a condensation method by its registry name."""
+    factories = {
+        "deco": OneStepMatcher,
+        "dc": DCMatcher,
+        "dsa": DSAMatcher,
+        "dm": DMMatcher,
+    }
+    if name not in factories:
+        raise KeyError(f"unknown condenser {name!r}; available: {CONDENSER_NAMES}")
+    return factories[name](**kwargs)
+
+
+__all__ = [
+    "CondensationMethod", "CondensationStats", "ModelFactory",
+    "OneStepMatcher", "DCMatcher", "DSAMatcher", "DMMatcher",
+    "make_condenser", "CONDENSER_NAMES",
+    "parameter_gradients", "input_gradient", "distance_and_grad_wrt_gsyn",
+    "finite_difference_matching_grad",
+]

@@ -1,0 +1,85 @@
+"""Common interface for dataset condensation methods.
+
+Table II of the paper compares DECO's one-step matcher against DC [12],
+DSA [27], and DM [13] *inside the same on-device pipeline*: each method is
+called once per stream segment to fold the segment's (pseudo-labeled) real
+samples into the synthetic buffer.  This module defines that shared call
+signature.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..buffer.buffer import SyntheticBuffer
+from ..nn.layers import Module
+
+__all__ = ["CondensationMethod", "CondensationStats", "ModelFactory"]
+
+# Called with an RNG; returns a freshly (re-)randomized model.
+ModelFactory = Callable[[np.random.Generator], Module]
+
+
+@dataclass
+class CondensationStats:
+    """Diagnostics from one condensation call.
+
+    Attributes
+    ----------
+    iterations:
+        Number of synthetic-update iterations performed.
+    matching_loss:
+        Mean value of the distance ``D`` (or feature-matching loss for DM)
+        over the iterations.
+    forward_backward_passes:
+        Total count of forward-backward passes, the paper's cost model for
+        Table II.
+    extra:
+        Method-specific diagnostics.
+    """
+
+    iterations: int = 0
+    matching_loss: float = 0.0
+    forward_backward_passes: int = 0
+    extra: dict = field(default_factory=dict)
+
+
+class CondensationMethod(abc.ABC):
+    """A strategy for updating synthetic buffer images from real samples."""
+
+    name: str = "base"
+
+    @abc.abstractmethod
+    def condense(self, buffer: SyntheticBuffer, active_classes: Sequence[int],
+                 real_x: np.ndarray, real_y: np.ndarray,
+                 real_w: np.ndarray | None, *,
+                 model_factory: ModelFactory,
+                 rng: np.random.Generator,
+                 deployed_model: Module | None = None) -> CondensationStats:
+        """Update ``buffer`` rows of ``active_classes`` to absorb the reals.
+
+        Parameters
+        ----------
+        buffer:
+            The synthetic buffer ``S``; only rows belonging to
+            ``active_classes`` may be modified (Eq. 3).
+        active_classes:
+            Classes considered active in the current segment.
+        real_x, real_y, real_w:
+            The segment's retained samples, their pseudo-labels, and the
+            per-sample confidence weights ``w_i`` of Eq. (4) (``None`` means
+            weight 1).
+        model_factory:
+            Produces a freshly randomized network each time it is called
+            (the "randomize initial model parameters" step of Algorithm 1).
+        rng:
+            Randomness source for this call.
+        deployed_model:
+            The currently deployed model ``theta``.  DECO uses its encoder
+            for the feature-discrimination loss (Eq. 8); the baseline
+            methods ignore it.
+        """

@@ -1,0 +1,36 @@
+"""DSA: gradient matching with Differentiable Siamese Augmentation [27].
+
+Identical bilevel structure to :class:`~repro.condensation.dc.DCMatcher`,
+but every matching step draws one augmentation (flip/shift/contrast/
+brightness/cutout) and applies it to *both* the real batch and the
+synthetic batch before the forward pass, backpropagating through it to the
+synthetic pixels.  The "siamese" property — the same draw on both sides —
+is what lets the synthetic images learn augmentation-invariant content.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.transforms import AugmentationParams, sample_augmentation
+from .dc import DCMatcher
+
+__all__ = ["DSAMatcher"]
+
+
+class DSAMatcher(DCMatcher):
+    """DC with differentiable siamese augmentation in every matching step."""
+
+    name = "dsa"
+
+    def __init__(self, *, augment_prob: float = 0.8, **dc_kwargs) -> None:
+        super().__init__(**dc_kwargs)
+        if not 0.0 <= augment_prob <= 1.0:
+            raise ValueError("augment_prob must be in [0, 1]")
+        self.augment_prob = float(augment_prob)
+
+    def _sample_augmentation(self, image_size: int,
+                             rng: np.random.Generator) -> AugmentationParams | None:
+        if rng.random() >= self.augment_prob:
+            return None
+        return sample_augmentation(image_size, rng)

@@ -1,0 +1,20 @@
+"""DECO core: pseudo-labeling, learners, and training/evaluation loops."""
+
+from .deco import DECOLearner, condense_offline
+from .learner import LearnerConfig, LearnerHistory, OnDeviceLearner
+from .metrics import (ForgettingTracker, accuracy_smoothness,
+                      forgetting_score, per_class_accuracy)
+from .pseudo_label import (MajorityVotePseudoLabeler, PseudoLabelResult,
+                           predict_with_confidence)
+from .replay import ReplayLearner, UpperBoundLearner
+from .training import evaluate_accuracy, predict_logits, train_model
+
+__all__ = [
+    "MajorityVotePseudoLabeler", "PseudoLabelResult", "predict_with_confidence",
+    "LearnerConfig", "LearnerHistory", "OnDeviceLearner",
+    "DECOLearner", "condense_offline",
+    "ReplayLearner", "UpperBoundLearner",
+    "train_model", "evaluate_accuracy", "predict_logits",
+    "per_class_accuracy", "forgetting_score", "accuracy_smoothness",
+    "ForgettingTracker",
+]

@@ -1,0 +1,200 @@
+"""On-device learner framework: the shared streaming loop.
+
+A learner owns the deployed model and a buffer; the framework feeds it the
+stream segment by segment, triggers a model update from the buffer every
+``beta`` segments (Algorithm 1's ``t % beta == 0`` step), and records an
+evaluation history (used for the Fig. 3 learning curves).
+"""
+
+from __future__ import annotations
+
+import abc
+import copy
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..data.stream import Stream, StreamSegment
+from ..nn import init
+from ..nn.layers import Module
+from ..utils.rng import to_rng
+from .training import evaluate_accuracy, train_model
+
+__all__ = ["LearnerConfig", "LearnerHistory", "OnDeviceLearner"]
+
+
+@dataclass(frozen=True)
+class LearnerConfig:
+    """Shared on-device training hyper-parameters (§IV-A3).
+
+    Attributes
+    ----------
+    beta:
+        Model-update interval in segments (paper: 10).
+    train_epochs:
+        Epochs per model update on the buffer (paper: 200; scaled down in
+        smoke profiles).
+    lr / momentum / weight_decay / batch_size:
+        SGD settings (paper: momentum SGD, wd 5e-4, batch 128; lr 1e-3 or
+        1e-4 depending on the dataset).
+    max_update_steps:
+        Optional cap on SGD steps per model update, applied identically to
+        every method; bounds the cost of updates on very large buffers
+        (e.g. CIFAR-100 at IpC=50) on the CPU substrate.
+    """
+
+    beta: int = 10
+    train_epochs: int = 30
+    lr: float = 1e-3
+    momentum: float = 0.9
+    weight_decay: float = 5e-4
+    batch_size: int = 128
+    max_update_steps: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.beta < 1:
+            raise ValueError("beta must be >= 1")
+        if self.train_epochs < 1:
+            raise ValueError("train_epochs must be >= 1")
+
+
+@dataclass
+class LearnerHistory:
+    """Evaluation trace collected while streaming.
+
+    ``samples_seen`` and ``accuracy`` are parallel arrays — exactly the axes
+    of Fig. 3.  ``diagnostics`` accumulates per-segment learner stats
+    (pseudo-label accuracy, retention, matching loss, ...).
+    """
+
+    samples_seen: list[int] = field(default_factory=list)
+    accuracy: list[float] = field(default_factory=list)
+    diagnostics: list[dict] = field(default_factory=list)
+
+    def record_eval(self, samples: int, acc: float) -> None:
+        self.samples_seen.append(int(samples))
+        self.accuracy.append(float(acc))
+
+    @property
+    def final_accuracy(self) -> float:
+        if not self.accuracy:
+            raise ValueError("no evaluations recorded")
+        return self.accuracy[-1]
+
+
+class OnDeviceLearner(abc.ABC):
+    """Base class wiring a model + buffer into the streaming loop."""
+
+    def __init__(self, model: Module, config: LearnerConfig,
+                 rng: int | np.random.Generator | None = None) -> None:
+        self.model = model
+        self.config = config
+        self.rng = to_rng(rng)
+        self._scratch: Module | None = None
+
+    # -- subclass responsibilities ------------------------------------------
+    @abc.abstractmethod
+    def observe_segment(self, segment: StreamSegment) -> dict:
+        """Consume one stream segment; return diagnostics for the history."""
+
+    @abc.abstractmethod
+    def training_set(self) -> tuple[np.ndarray, np.ndarray]:
+        """Current buffer contents as (images, labels) for model updates."""
+
+    # -- shared machinery -----------------------------------------------------
+    def model_factory(self, rng: np.random.Generator) -> Module:
+        """Return a freshly randomized copy of the deployed architecture.
+
+        A single scratch network is reused across calls; only its weights
+        are re-drawn (Algorithm 1's per-iteration model randomization).
+        """
+        if self._scratch is None:
+            self._scratch = copy.deepcopy(self.model)
+        init.reinitialize(self._scratch, rng)
+        return self._scratch
+
+    # -- checkpointing ---------------------------------------------------
+    def _extra_state(self) -> dict[str, np.ndarray]:
+        """Subclass hook: additional arrays to checkpoint (e.g. the buffer)."""
+        return {}
+
+    def _load_extra_state(self, state: dict[str, np.ndarray]) -> None:
+        """Subclass hook: restore arrays produced by :meth:`_extra_state`."""
+
+    def checkpoint(self) -> dict[str, np.ndarray]:
+        """Snapshot the deployed model (and subclass state) as flat arrays.
+
+        Suitable for :func:`repro.utils.save_array_dict`; restores with
+        :meth:`restore`.
+        """
+        state = {f"model.{name}": value
+                 for name, value in self.model.state_dict().items()}
+        for name, value in self._extra_state().items():
+            state[f"extra.{name}"] = value
+        return state
+
+    def restore(self, state: dict[str, np.ndarray]) -> None:
+        """Restore a snapshot produced by :meth:`checkpoint`."""
+        model_state = {name[len("model."):]: value
+                       for name, value in state.items()
+                       if name.startswith("model.")}
+        self.model.load_state_dict(model_state)
+        self._load_extra_state({name[len("extra."):]: value
+                                for name, value in state.items()
+                                if name.startswith("extra.")})
+
+    def update_model(self) -> None:
+        """Retrain the deployed model on the current buffer contents."""
+        x, y = self.training_set()
+        if len(x) == 0:
+            return
+        train_model(self.model, x, y, epochs=self.config.train_epochs,
+                    lr=self.config.lr, momentum=self.config.momentum,
+                    weight_decay=self.config.weight_decay,
+                    batch_size=self.config.batch_size,
+                    max_steps=self.config.max_update_steps, rng=self.rng)
+
+    def run(self, stream: Stream, *, x_test: np.ndarray | None = None,
+            y_test: np.ndarray | None = None,
+            eval_every: int | None = None) -> LearnerHistory:
+        """Stream all segments through the learner.
+
+        Parameters
+        ----------
+        stream:
+            The non-i.i.d. input stream.
+        x_test, y_test:
+            Held-out evaluation data (required if ``eval_every`` is set or a
+            final accuracy is wanted).
+        eval_every:
+            Evaluate every this many segments (for learning curves); the
+        final state is always evaluated when test data is given.
+        """
+        can_eval = x_test is not None and y_test is not None
+        if eval_every is not None and not can_eval:
+            raise ValueError("eval_every requires x_test and y_test")
+
+        history = LearnerHistory()
+        samples_seen = 0
+        trained_at = -1
+        for segment in stream:
+            diag = self.observe_segment(segment)
+            samples_seen += len(segment)
+            if (segment.index + 1) % self.config.beta == 0:
+                self.update_model()
+                trained_at = segment.index
+            if diag:
+                diag["segment"] = segment.index
+                history.diagnostics.append(diag)
+            if (eval_every is not None
+                    and (segment.index + 1) % eval_every == 0):
+                history.record_eval(
+                    samples_seen, evaluate_accuracy(self.model, x_test, y_test))
+        # Fold in any segments after the last scheduled update, then do the
+        # final evaluation the paper's "final average accuracy" reports.
+        if trained_at != len(stream) - 1:
+            self.update_model()
+        if can_eval:
+            history.record_eval(samples_seen,
+                                evaluate_accuracy(self.model, x_test, y_test))
+        return history

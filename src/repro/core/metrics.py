@@ -1,0 +1,101 @@
+"""Continual-learning metrics: per-class accuracy and forgetting.
+
+The paper reports final average accuracy and learning curves; these helpers
+add the standard continual-learning diagnostics used to *explain* those
+numbers — how accuracy distributes over classes, how much previously
+acquired class knowledge is lost as the stream moves on, and how smooth a
+learning trajectory is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..nn.layers import Module
+from .training import predict_logits
+
+__all__ = ["per_class_accuracy", "ForgettingTracker", "forgetting_score",
+           "accuracy_smoothness"]
+
+
+def per_class_accuracy(model: Module, x: np.ndarray, y: np.ndarray,
+                       num_classes: int) -> np.ndarray:
+    """Accuracy per class; NaN for classes absent from the test set."""
+    predictions = predict_logits(model, x).argmax(axis=1)
+    y = np.asarray(y)
+    out = np.full(num_classes, np.nan)
+    for c in range(num_classes):
+        members = y == c
+        if members.any():
+            out[c] = float((predictions[members] == c).mean())
+    return out
+
+
+def forgetting_score(history: np.ndarray) -> float:
+    """Mean forgetting over a (T, C) per-class accuracy history.
+
+    For each class, forgetting is the gap between its *best* accuracy at
+    any earlier evaluation and its *final* accuracy (Chaudhry et al.);
+    the score averages over classes that were ever learned.  0 means no
+    forgetting; larger is worse.
+    """
+    history = np.asarray(history, dtype=np.float64)
+    if history.ndim != 2 or history.shape[0] < 2:
+        raise ValueError("need a (T>=2, C) accuracy history")
+    prior = history[:-1]
+    # Classes never evaluated (all-NaN columns) are excluded below; guard
+    # them here so nanmax does not warn.
+    never_seen = np.isnan(prior).all(axis=0)
+    best_before_final = np.nanmax(
+        np.where(np.isnan(prior), -np.inf, prior), axis=0)
+    best_before_final[never_seen] = np.nan
+    final = history[-1]
+    gaps = best_before_final - final
+    valid = ~np.isnan(gaps)
+    if not valid.any():
+        return 0.0
+    return float(np.clip(gaps[valid], 0.0, None).mean())
+
+
+def accuracy_smoothness(accuracies: np.ndarray) -> float:
+    """Mean absolute step change of an accuracy trace (lower = smoother).
+
+    Quantifies the paper's observation that DECO's learning curve is
+    "smoother across all datasets" than the baselines'.
+    """
+    accuracies = np.asarray(accuracies, dtype=np.float64)
+    if accuracies.size < 2:
+        return 0.0
+    return float(np.abs(np.diff(accuracies)).mean())
+
+
+@dataclass
+class ForgettingTracker:
+    """Accumulates per-class accuracy snapshots during a streaming run.
+
+    Call :meth:`observe` at every evaluation point; read
+    :attr:`forgetting` / :attr:`history` at the end.
+    """
+
+    num_classes: int
+    snapshots: list[np.ndarray] = field(default_factory=list)
+
+    def observe(self, model: Module, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Record (and return) the current per-class accuracy."""
+        snapshot = per_class_accuracy(model, x, y, self.num_classes)
+        self.snapshots.append(snapshot)
+        return snapshot
+
+    @property
+    def history(self) -> np.ndarray:
+        """(T, C) matrix of the recorded snapshots."""
+        if not self.snapshots:
+            raise ValueError("no snapshots recorded")
+        return np.stack(self.snapshots)
+
+    @property
+    def forgetting(self) -> float:
+        """Current forgetting score over the recorded snapshots."""
+        return forgetting_score(self.history)

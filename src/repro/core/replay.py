@@ -1,0 +1,70 @@
+"""Replay learner for the selection baselines (Table I columns 1-5).
+
+Runs the same on-device loop as DECO — same stream, same pseudo-labeling by
+the deployed model, same periodic retraining — but maintains a raw-sample
+buffer with one of the selection strategies instead of condensing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..buffer.buffer import RawBuffer
+from ..buffer.selection import SelectionStrategy
+from ..data.stream import StreamSegment
+from ..nn.layers import Module
+from .learner import LearnerConfig, OnDeviceLearner
+from .pseudo_label import predict_with_confidence
+
+__all__ = ["ReplayLearner", "UpperBoundLearner"]
+
+
+class ReplayLearner(OnDeviceLearner):
+    """Selection-based rehearsal: store raw pseudo-labeled stream samples."""
+
+    def __init__(self, model: Module, buffer: RawBuffer,
+                 strategy: SelectionStrategy, *,
+                 config: LearnerConfig = LearnerConfig(),
+                 rng: int | np.random.Generator | None = None) -> None:
+        super().__init__(model, config, rng)
+        self.buffer = buffer
+        self.strategy = strategy
+
+    def observe_segment(self, segment: StreamSegment) -> dict:
+        labels, confidences = predict_with_confidence(self.model, segment.images)
+        self.strategy.process_segment(self.buffer, segment.images, labels,
+                                      confidences, model=self.model,
+                                      rng=self.rng)
+        return {
+            "pseudo_label_accuracy": float(
+                (labels == segment.hidden_labels).mean()) if len(segment) else 0.0,
+            "buffer_fill": len(self.buffer) / self.buffer.capacity,
+        }
+
+    def training_set(self) -> tuple[np.ndarray, np.ndarray]:
+        return self.buffer.as_training_set()
+
+
+class UpperBoundLearner(OnDeviceLearner):
+    """Oracle with an unlimited buffer and ground-truth labels.
+
+    Produces the "Upper Bound" column of Table I: the end accuracy
+    achievable if the device could store the entire stream, labeled.
+    """
+
+    def __init__(self, model: Module, *,
+                 config: LearnerConfig = LearnerConfig(),
+                 rng: int | np.random.Generator | None = None) -> None:
+        super().__init__(model, config, rng)
+        self._images: list[np.ndarray] = []
+        self._labels: list[np.ndarray] = []
+
+    def observe_segment(self, segment: StreamSegment) -> dict:
+        self._images.append(segment.images)
+        self._labels.append(segment.hidden_labels)
+        return {}
+
+    def training_set(self) -> tuple[np.ndarray, np.ndarray]:
+        if not self._images:
+            return (np.empty((0,)), np.empty((0,), dtype=np.int64))
+        return np.concatenate(self._images), np.concatenate(self._labels)

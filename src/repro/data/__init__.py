@@ -1,0 +1,17 @@
+"""Data substrate: synthetic datasets, non-i.i.d. streams, augmentations."""
+
+from .datasets import DatasetSpec, SyntheticImageDataset, make_dataset
+from .registry import (PRETRAIN_FRACTION, PROFILES, available_datasets,
+                       clear_dataset_cache, dataset_spec, load_dataset)
+from .stream import (Stream, StreamSegment, make_stream, make_stream_order,
+                     measure_stc)
+from .transforms import (AugmentationParams, apply_augmentation,
+                         sample_augmentation)
+
+__all__ = [
+    "DatasetSpec", "SyntheticImageDataset", "make_dataset",
+    "available_datasets", "dataset_spec", "load_dataset", "clear_dataset_cache",
+    "PROFILES", "PRETRAIN_FRACTION",
+    "Stream", "StreamSegment", "make_stream", "make_stream_order", "measure_stc",
+    "AugmentationParams", "sample_augmentation", "apply_augmentation",
+]

@@ -1,0 +1,156 @@
+"""Non-i.i.d. data stream construction.
+
+On-device learning consumes a temporally correlated, unlabeled, seen-once
+stream.  This module turns a dataset's training pool into such a stream:
+
+* :func:`make_stream_order` orders sample indices either by *recording
+  sessions* (iCub1/CORe50-style: within each environment, each object is
+  filmed as a consecutive run) or by the *Strength of Temporal Correlation*
+  (STC) metric of Hayes et al. [22] used by the paper for CIFAR-100
+  (STC=500) and ImageNet-10 (STC=100): runs of ``stc`` consecutive
+  same-class samples.
+* :class:`Stream` wraps the ordered samples and yields fixed-size
+  :class:`StreamSegment` batches; true labels ride along *hidden* — learners
+  must not read them (they exist for pseudo-label diagnostics and oracle
+  baselines only).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from ..utils.rng import to_rng
+from .datasets import SyntheticImageDataset
+
+__all__ = ["StreamSegment", "Stream", "make_stream_order", "make_stream",
+           "measure_stc"]
+
+
+@dataclass(frozen=True)
+class StreamSegment:
+    """One segment ``I_t`` of the input stream.
+
+    Attributes
+    ----------
+    images:
+        (B, C, H, W) unlabeled samples as the device sees them.
+    hidden_labels:
+        (B,) ground-truth labels.  **Diagnostics only** — the on-device
+        algorithms never read these.
+    index:
+        Zero-based segment number ``t``.
+    start:
+        Offset of the first sample within the whole stream.
+    """
+
+    images: np.ndarray
+    hidden_labels: np.ndarray
+    index: int
+    start: int
+
+    def __len__(self) -> int:
+        return len(self.hidden_labels)
+
+
+def make_stream_order(dataset: SyntheticImageDataset, *,
+                      stc: int | None = None,
+                      session_ordered: bool = False,
+                      rng: int | np.random.Generator | None = None) -> np.ndarray:
+    """Return a permutation of train indices forming a non-i.i.d. stream.
+
+    Exactly one of ``stc`` / ``session_ordered`` should be set; with neither,
+    the stream is i.i.d.-shuffled (useful as a control).
+    """
+    rng = to_rng(rng)
+    if session_ordered and stc is not None:
+        raise ValueError("choose either session_ordered or stc, not both")
+
+    if session_ordered:
+        order: list[np.ndarray] = []
+        for session in np.unique(dataset.train_sessions):
+            in_session = np.flatnonzero(dataset.train_sessions == session)
+            classes = np.unique(dataset.y_train[in_session])
+            rng.shuffle(classes)
+            for cls in classes:
+                members = in_session[dataset.y_train[in_session] == cls]
+                members = rng.permutation(members)
+                order.append(members)
+        return np.concatenate(order)
+
+    if stc is not None:
+        if stc < 1:
+            raise ValueError("stc must be >= 1")
+        pools = {c: list(rng.permutation(np.flatnonzero(dataset.y_train == c)))
+                 for c in range(dataset.num_classes)}
+        order_list: list[int] = []
+        previous = -1
+        while any(pools.values()):
+            candidates = [c for c, pool in pools.items() if pool and c != previous]
+            if not candidates:  # only the previous class has samples left
+                candidates = [c for c, pool in pools.items() if pool]
+            cls = int(rng.choice(candidates))
+            run = min(stc, len(pools[cls]))
+            order_list.extend(pools[cls][:run])
+            del pools[cls][:run]
+            previous = cls
+        return np.asarray(order_list, dtype=np.int64)
+
+    return rng.permutation(dataset.num_train)
+
+
+def measure_stc(labels: np.ndarray) -> float:
+    """Average run length of consecutive same-class samples in a stream."""
+    labels = np.asarray(labels)
+    if labels.size == 0:
+        raise ValueError("empty stream")
+    changes = int(np.count_nonzero(labels[1:] != labels[:-1]))
+    return labels.size / (changes + 1)
+
+
+class Stream:
+    """An ordered, segment-iterable view over a dataset's training pool."""
+
+    def __init__(self, dataset: SyntheticImageDataset, order: np.ndarray,
+                 segment_size: int) -> None:
+        if segment_size < 1:
+            raise ValueError("segment_size must be >= 1")
+        order = np.asarray(order, dtype=np.int64)
+        if order.size == 0:
+            raise ValueError("empty stream order")
+        self.dataset = dataset
+        self.order = order
+        self.segment_size = int(segment_size)
+
+    def __len__(self) -> int:
+        """Number of segments (the last partial segment counts)."""
+        return (len(self.order) + self.segment_size - 1) // self.segment_size
+
+    @property
+    def num_samples(self) -> int:
+        return len(self.order)
+
+    def segments(self) -> Iterator[StreamSegment]:
+        """Yield the stream segment by segment, each sample exactly once."""
+        for t, start in enumerate(range(0, len(self.order), self.segment_size)):
+            idx = self.order[start:start + self.segment_size]
+            yield StreamSegment(
+                images=self.dataset.x_train[idx],
+                hidden_labels=self.dataset.y_train[idx],
+                index=t,
+                start=start,
+            )
+
+    def __iter__(self) -> Iterator[StreamSegment]:
+        return self.segments()
+
+
+def make_stream(dataset: SyntheticImageDataset, *, segment_size: int,
+                stc: int | None = None, session_ordered: bool = False,
+                rng: int | np.random.Generator | None = None) -> Stream:
+    """Build a :class:`Stream` in one call (order + segmentation)."""
+    order = make_stream_order(dataset, stc=stc, session_ordered=session_ordered,
+                              rng=rng)
+    return Stream(dataset, order, segment_size)

@@ -1,0 +1,115 @@
+"""Differentiable image augmentations (for the DSA baseline).
+
+Dataset Condensation with Differentiable Siamese Augmentation (DSA, [27])
+applies the *same randomly drawn* augmentation to the real batch and the
+synthetic batch inside each matching step, and backpropagates through it to
+the synthetic pixels.  :class:`AugmentationParams` captures one draw;
+:func:`apply_augmentation` applies it to any batch, built entirely from
+engine ops so gradients flow to the input.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..nn.tensor import Tensor
+from ..utils.rng import to_rng
+
+__all__ = ["AugmentationParams", "sample_augmentation", "apply_augmentation",
+           "flip_horizontal", "translate", "adjust_brightness",
+           "adjust_contrast", "scale_intensity", "cutout"]
+
+
+def flip_horizontal(x: Tensor) -> Tensor:
+    """Mirror an NCHW batch along the width axis (differentiable)."""
+    return x[:, :, :, ::-1]
+
+
+def translate(x: Tensor, dx: int, dy: int) -> Tensor:
+    """Shift an NCHW batch by (dy, dx) pixels with zero padding."""
+    if dx == 0 and dy == 0:
+        return x
+    h, w = x.shape[2], x.shape[3]
+    pad = max(abs(dx), abs(dy))
+    padded = x.pad2d(pad)
+    top = pad + dy
+    left = pad + dx
+    return padded[:, :, top:top + h, left:left + w]
+
+
+def adjust_brightness(x: Tensor, delta: float) -> Tensor:
+    """Add a constant intensity offset."""
+    return x + float(delta)
+
+
+def adjust_contrast(x: Tensor, factor: float) -> Tensor:
+    """Scale deviations from the per-sample mean intensity."""
+    mean = x.mean(axis=(1, 2, 3), keepdims=True)
+    return mean + (x - mean) * float(factor)
+
+
+def scale_intensity(x: Tensor, factor: float) -> Tensor:
+    """Multiply all intensities by a constant factor."""
+    return x * float(factor)
+
+
+def cutout(x: Tensor, top: int, left: int, size: int) -> Tensor:
+    """Zero a square patch (same location for the whole batch)."""
+    mask = np.ones(x.shape[2:], dtype=np.float32)
+    mask[top:top + size, left:left + size] = 0.0
+    return x * Tensor(mask[None, None])
+
+
+@dataclass(frozen=True)
+class AugmentationParams:
+    """One concrete augmentation draw, applied identically to both batches."""
+
+    flip: bool
+    dx: int
+    dy: int
+    brightness: float
+    contrast: float
+    cutout_top: int
+    cutout_left: int
+    cutout_size: int
+
+
+def sample_augmentation(image_size: int,
+                        rng: int | np.random.Generator | None, *,
+                        max_shift_frac: float = 0.125,
+                        brightness_range: float = 0.3,
+                        contrast_range: float = 0.3,
+                        cutout_frac: float = 0.25,
+                        cutout_prob: float = 0.5) -> AugmentationParams:
+    """Draw random augmentation parameters for a given image size."""
+    rng = to_rng(rng)
+    max_shift = max(1, int(round(image_size * max_shift_frac)))
+    size = int(round(image_size * cutout_frac)) if rng.random() < cutout_prob else 0
+    if size > 0:
+        top = int(rng.integers(0, image_size - size + 1))
+        left = int(rng.integers(0, image_size - size + 1))
+    else:
+        top = left = 0
+    return AugmentationParams(
+        flip=bool(rng.random() < 0.5),
+        dx=int(rng.integers(-max_shift, max_shift + 1)),
+        dy=int(rng.integers(-max_shift, max_shift + 1)),
+        brightness=float(rng.uniform(-brightness_range, brightness_range)),
+        contrast=float(rng.uniform(1.0 - contrast_range, 1.0 + contrast_range)),
+        cutout_top=top, cutout_left=left, cutout_size=size,
+    )
+
+
+def apply_augmentation(x: Tensor, params: AugmentationParams) -> Tensor:
+    """Apply one augmentation draw to an NCHW batch, differentiably."""
+    out = x
+    if params.flip:
+        out = flip_horizontal(out)
+    out = translate(out, params.dx, params.dy)
+    out = adjust_contrast(out, params.contrast)
+    out = adjust_brightness(out, params.brightness)
+    if params.cutout_size > 0:
+        out = cutout(out, params.cutout_top, params.cutout_left, params.cutout_size)
+    return out

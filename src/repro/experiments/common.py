@@ -1,0 +1,253 @@
+"""Shared experiment machinery: prepare → run-method → measure.
+
+Every table/figure runner builds on the same three steps:
+
+1. :func:`prepare_experiment` — generate the dataset, build the ConvNet,
+   pre-train it offline on the labeled fraction (§IV-A1).
+2. :func:`run_method` — run one on-device method (DECO, a selection
+   baseline, a condensation baseline, or the upper bound) over a freshly
+   ordered stream, starting from a copy of the pre-trained model.
+3. Aggregate across seeds.
+
+The dataset is generated once per (dataset, profile); seeds vary the model
+initialization, the stream order, and every stochastic algorithm choice —
+matching how the paper runs "five trials with different random seeds".
+"""
+
+from __future__ import annotations
+
+import copy
+import time
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..buffer.buffer import RawBuffer, SyntheticBuffer
+from ..buffer.selection import (EXTRA_STRATEGY_NAMES, STRATEGY_NAMES,
+                                make_strategy)
+from ..condensation import CONDENSER_NAMES, CondensationMethod, make_condenser
+from ..core.deco import DECOLearner, condense_offline
+from ..core.learner import LearnerConfig, LearnerHistory
+from ..core.pseudo_label import MajorityVotePseudoLabeler
+from ..core.replay import ReplayLearner, UpperBoundLearner
+from ..core.training import train_model
+from ..data.datasets import SyntheticImageDataset
+from ..data.registry import load_dataset
+from ..data.stream import make_stream
+from ..nn.convnet import ConvNet
+from ..utils.rng import spawn_rngs, to_rng
+from .profiles import (ExperimentProfile, get_profile, learning_rate,
+                       pretrain_fraction, stream_settings)
+
+__all__ = ["PreparedExperiment", "prepare_experiment", "run_method",
+           "MethodResult", "METHOD_NAMES", "TimedCondenser"]
+
+METHOD_NAMES = ("deco",) + STRATEGY_NAMES + EXTRA_STRATEGY_NAMES \
+    + ("upper_bound",)
+
+_PREPARED_CACHE: dict[tuple[str, str, int], "PreparedExperiment"] = {}
+
+
+@dataclass
+class PreparedExperiment:
+    """A dataset plus a model pre-trained on its labeled fraction."""
+
+    dataset_name: str
+    profile: ExperimentProfile
+    dataset: SyntheticImageDataset
+    model: ConvNet
+    pretrain_x: np.ndarray
+    pretrain_y: np.ndarray
+    pretrain_accuracy: float
+
+    def fresh_model(self) -> ConvNet:
+        """An independent copy of the pre-trained deployed model."""
+        return copy.deepcopy(self.model)
+
+    def learner_config(self) -> LearnerConfig:
+        return LearnerConfig(
+            beta=10,
+            train_epochs=self.profile.train_epochs,
+            lr=learning_rate(self.dataset_name),
+            # Cost knob for the CPU substrate: bound each model update to
+            # roughly "train_epochs epochs on a 1k-sample buffer", applied
+            # identically to every method so comparisons stay fair.
+            max_update_steps=self.profile.train_epochs * 8,
+        )
+
+
+def prepare_experiment(dataset_name: str, profile_name: str = "smoke", *,
+                       seed: int = 0,
+                       use_cache: bool = True) -> PreparedExperiment:
+    """Generate data and pre-train the model to deploy.
+
+    Deterministic in (dataset_name, profile_name, seed); cached because all
+    methods of one comparison share the same starting point.
+    """
+    key = (dataset_name, profile_name, int(seed))
+    if use_cache and key in _PREPARED_CACHE:
+        return _PREPARED_CACHE[key]
+
+    profile = get_profile(profile_name)
+    dataset = load_dataset(dataset_name, profile.dataset_profile, seed=0)
+    data_rng, model_rng, train_rng = spawn_rngs(seed, 3)
+
+    model = ConvNet(dataset.channels, dataset.num_classes, dataset.image_size,
+                    width=profile.model_width, depth=profile.model_depth,
+                    rng=model_rng)
+    fraction = pretrain_fraction(dataset_name, profile_name)
+    pre_x, pre_y = dataset.pretrain_subset(fraction, rng=data_rng)
+    train_model(model, pre_x, pre_y, epochs=profile.pretrain_epochs,
+                lr=learning_rate(dataset_name), rng=train_rng)
+
+    from ..core.training import evaluate_accuracy
+    prepared = PreparedExperiment(
+        dataset_name=dataset_name, profile=profile, dataset=dataset,
+        model=model, pretrain_x=pre_x, pretrain_y=pre_y,
+        pretrain_accuracy=evaluate_accuracy(model, dataset.x_test, dataset.y_test))
+    if use_cache:
+        _PREPARED_CACHE[key] = prepared
+    return prepared
+
+
+class TimedCondenser(CondensationMethod):
+    """Delegating wrapper that accumulates condensation wall time and passes.
+
+    Table II reports the total execution time of the condensation method
+    itself; this wrapper isolates that from pseudo-labeling and model
+    retraining.
+    """
+
+    def __init__(self, inner: CondensationMethod) -> None:
+        self.inner = inner
+        self.name = inner.name
+        self.total_seconds = 0.0
+        self.total_passes = 0
+        self.total_iterations = 0
+
+    def condense(self, *args, **kwargs):
+        start = time.perf_counter()
+        stats = self.inner.condense(*args, **kwargs)
+        self.total_seconds += time.perf_counter() - start
+        self.total_passes += stats.forward_backward_passes
+        self.total_iterations += stats.iterations
+        return stats
+
+
+@dataclass
+class MethodResult:
+    """Outcome of one method run on one stream."""
+
+    method: str
+    ipc: int
+    seed: int
+    final_accuracy: float
+    history: LearnerHistory
+    wall_seconds: float
+    condense_seconds: float = 0.0
+    condense_passes: int = 0
+    extra: dict = field(default_factory=dict)
+
+
+def _fill_raw_buffer_from_pretrain(buffer: RawBuffer, x: np.ndarray,
+                                   y: np.ndarray,
+                                   rng: np.random.Generator) -> None:
+    """Seed a baseline buffer with a class-balanced slice of pretrain data."""
+    order: list[int] = []
+    for c in np.unique(y):
+        order.extend(np.flatnonzero(y == c))
+    order = list(rng.permutation(order))
+    for i in order[: buffer.capacity]:
+        buffer.add(x[i], int(y[i]))
+
+
+def run_method(prepared: PreparedExperiment, method: str, ipc: int, *,
+               seed: int = 0,
+               condenser_name: str = "deco",
+               condenser_kwargs: dict | None = None,
+               labeler_threshold: float = 0.4,
+               labeler: MajorityVotePseudoLabeler | None = None,
+               eval_every: int | None = None,
+               config: LearnerConfig | None = None) -> MethodResult:
+    """Run one on-device method over a freshly ordered stream.
+
+    Parameters
+    ----------
+    prepared:
+        Output of :func:`prepare_experiment`.
+    method:
+        ``"deco"``, one of the selection baselines
+        (:data:`~repro.buffer.selection.STRATEGY_NAMES`), or
+        ``"upper_bound"``.
+    ipc:
+        Images per class; buffer capacity is ``ipc * num_classes``.
+    condenser_name / condenser_kwargs:
+        For ``method="deco"``: which condensation algorithm fills the buffer
+        (swapping in ``"dc"``/``"dsa"``/``"dm"`` reproduces Table II).
+    labeler_threshold:
+        Majority-voting threshold ``m`` (Fig. 4a sweeps this).
+    labeler:
+        Full pseudo-labeler override (e.g. a
+        :class:`~repro.experiments.noise.NoisyPseudoLabeler`); when given,
+        ``labeler_threshold`` is ignored.
+    eval_every:
+        Segment interval for learning-curve evaluations (Fig. 3).
+    """
+    if method not in METHOD_NAMES:
+        raise KeyError(f"unknown method {method!r}; available: {METHOD_NAMES}")
+    if condenser_name not in CONDENSER_NAMES:
+        raise KeyError(f"unknown condenser {condenser_name!r}")
+    if ipc < 1:
+        raise ValueError("ipc must be >= 1")
+
+    profile = prepared.profile
+    dataset = prepared.dataset
+    stream_rng, learner_rng, init_rng = spawn_rngs(seed + 1, 3)
+    stream = make_stream(dataset, segment_size=profile.segment_size,
+                         rng=stream_rng,
+                         **stream_settings(prepared.dataset_name, profile.name))
+    model = prepared.fresh_model()
+    config = config or prepared.learner_config()
+
+    timed: TimedCondenser | None = None
+    start = time.perf_counter()
+    if method == "deco":
+        kwargs = dict(condenser_kwargs or {})
+        if condenser_name == "deco":
+            kwargs.setdefault("iterations", profile.condense_iterations)
+        timed = TimedCondenser(make_condenser(condenser_name, **kwargs))
+        buffer = SyntheticBuffer(dataset.num_classes, ipc, dataset.image_shape())
+        learner = DECOLearner(
+            model, buffer, condenser=timed,
+            labeler=labeler or MajorityVotePseudoLabeler(labeler_threshold),
+            config=config, rng=learner_rng)
+        condense_offline(buffer, prepared.pretrain_x, prepared.pretrain_y,
+                         condenser=timed, model_factory=learner.model_factory,
+                         rounds=profile.offline_condense_rounds, rng=init_rng)
+    elif method == "upper_bound":
+        learner = UpperBoundLearner(model, config=config, rng=learner_rng)
+    else:
+        buffer = RawBuffer(ipc * dataset.num_classes, dataset.image_shape())
+        _fill_raw_buffer_from_pretrain(buffer, prepared.pretrain_x,
+                                       prepared.pretrain_y, init_rng)
+        learner = ReplayLearner(model, buffer, make_strategy(method),
+                                config=config, rng=learner_rng)
+
+    history = learner.run(stream, x_test=dataset.x_test, y_test=dataset.y_test,
+                          eval_every=eval_every)
+    wall = time.perf_counter() - start
+
+    return MethodResult(
+        method=method if method != "deco" else f"deco[{condenser_name}]",
+        ipc=ipc, seed=seed, final_accuracy=history.final_accuracy,
+        history=history, wall_seconds=wall,
+        condense_seconds=timed.total_seconds if timed else 0.0,
+        condense_passes=timed.total_passes if timed else 0,
+    )
+
+
+def run_seeds(prepared: PreparedExperiment, method: str, ipc: int,
+              seeds: Sequence[int], **kwargs) -> list[MethodResult]:
+    """Run the same configuration across several seeds."""
+    return [run_method(prepared, method, ipc, seed=s, **kwargs) for s in seeds]

@@ -1,0 +1,127 @@
+"""Fig. 4: hyper-parameter analyses.
+
+* **Fig. 4a** — sweep the majority-voting threshold ``m`` and record (i) the
+  fraction of stream data retained after filtering, (ii) the accuracy of
+  the retained pseudo-labels, and (iii) the final model accuracy.  Expected
+  shape: retention falls and label accuracy rises with ``m``; model
+  accuracy peaks at a moderate threshold (paper: m = 0.4).
+* **Fig. 4b** — sweep the feature-discrimination weight ``alpha`` on the
+  CIFAR-100-like dataset at IpC in {5, 10}.  Expected shape: accuracy
+  improves from alpha=0 up to ~0.1 and degrades for large alpha.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from .common import prepare_experiment, run_method
+from .reporting import format_table
+
+__all__ = ["Fig4aPoint", "Fig4aResult", "run_fig4a", "format_fig4a",
+           "Fig4bResult", "run_fig4b", "format_fig4b",
+           "DEFAULT_THRESHOLDS", "DEFAULT_ALPHAS"]
+
+DEFAULT_THRESHOLDS = (0.0, 0.2, 0.4, 0.6, 0.8)
+DEFAULT_ALPHAS = (0.0, 0.001, 0.01, 0.1, 0.5, 1.0)
+
+
+@dataclass
+class Fig4aPoint:
+    """Metrics at one filter threshold."""
+
+    threshold: float
+    retained_fraction: float
+    pseudo_label_accuracy: float
+    model_accuracy: float
+
+
+@dataclass
+class Fig4aResult:
+    """The three Fig. 4a curves."""
+
+    dataset: str
+    points: list[Fig4aPoint] = field(default_factory=list)
+
+    @property
+    def best_threshold(self) -> float:
+        return max(self.points, key=lambda p: p.model_accuracy).threshold
+
+
+def run_fig4a(*, dataset: str = "core50", ipc: int = 10,
+              thresholds: Sequence[float] = DEFAULT_THRESHOLDS,
+              profile: str = "smoke", seed: int = 0) -> Fig4aResult:
+    """Sweep the majority-voting threshold ``m``."""
+    prepared = prepare_experiment(dataset, profile, seed=0)
+    result = Fig4aResult(dataset=dataset)
+    for m in thresholds:
+        run = run_method(prepared, "deco", ipc, seed=seed,
+                         labeler_threshold=m)
+        retained = [d["retained_fraction"] for d in run.history.diagnostics
+                    if "retained_fraction" in d]
+        label_acc = [d["retained_label_accuracy"] for d in run.history.diagnostics
+                     if "retained_label_accuracy" in d
+                     and not np.isnan(d["retained_label_accuracy"])]
+        result.points.append(Fig4aPoint(
+            threshold=float(m),
+            retained_fraction=float(np.mean(retained)) if retained else 0.0,
+            pseudo_label_accuracy=float(np.mean(label_acc)) if label_acc else 0.0,
+            model_accuracy=run.final_accuracy))
+    return result
+
+
+def format_fig4a(result: Fig4aResult) -> str:
+    headers = ["m", "data retained", "pseudo-label acc", "model acc"]
+    rows = [[f"{p.threshold:.1f}", f"{p.retained_fraction:.2%}",
+             f"{p.pseudo_label_accuracy:.2%}", f"{p.model_accuracy:.2%}"]
+            for p in result.points]
+    return format_table(headers, rows,
+                        title=f"Fig. 4a: filter threshold sweep on "
+                              f"{result.dataset} "
+                              f"(best m = {result.best_threshold:.1f})")
+
+
+@dataclass
+class Fig4bResult:
+    """Accuracy per (alpha, ipc)."""
+
+    dataset: str
+    alphas: tuple[float, ...] = ()
+    ipcs: tuple[int, ...] = ()
+    accuracy: dict[tuple[float, int], float] = field(default_factory=dict)
+
+    def best_alpha(self, ipc: int) -> float:
+        return max(self.alphas, key=lambda a: self.accuracy[(a, ipc)])
+
+
+def run_fig4b(*, dataset: str = "cifar100",
+              alphas: Sequence[float] = DEFAULT_ALPHAS,
+              ipcs: Sequence[int] = (5, 10),
+              profile: str = "smoke", seed: int = 0) -> Fig4bResult:
+    """Sweep the feature-discrimination weight ``alpha``."""
+    prepared = prepare_experiment(dataset, profile, seed=0)
+    result = Fig4bResult(dataset=dataset, alphas=tuple(alphas),
+                         ipcs=tuple(ipcs))
+    for ipc in ipcs:
+        for alpha in alphas:
+            run = run_method(prepared, "deco", ipc, seed=seed,
+                             condenser_kwargs={"alpha": float(alpha)})
+            result.accuracy[(float(alpha), ipc)] = run.final_accuracy
+    return result
+
+
+def format_fig4b(result: Fig4bResult) -> str:
+    headers = ["alpha"] + [f"IpC={ipc}" for ipc in result.ipcs]
+    rows = []
+    for alpha in result.alphas:
+        row = [f"{alpha:g}"]
+        for ipc in result.ipcs:
+            row.append(f"{result.accuracy[(alpha, ipc)]:.2%}")
+        rows.append(row)
+    best = ", ".join(f"IpC={ipc}: alpha={result.best_alpha(ipc):g}"
+                     for ipc in result.ipcs)
+    return format_table(headers, rows,
+                        title=f"Fig. 4b: alpha sweep on {result.dataset} "
+                              f"(best {best})")

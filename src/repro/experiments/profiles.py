@@ -1,0 +1,131 @@
+"""Scale profiles tying datasets, models, streams, and budgets together.
+
+Every experiment runner takes a profile name:
+
+* ``smoke`` — the default for tests and quick benchmark runs: small images,
+  narrow networks, short training budgets.  Shapes (method orderings, trend
+  directions) are preserved; absolute accuracies are lower.
+* ``paper`` — the paper's relative proportions at the largest scale that is
+  still CPU-feasible on this numpy substrate.
+
+The per-dataset stream settings mirror §IV-A1: iCub1/CORe50 streams are
+session-ordered video-style streams; CIFAR-100/ImageNet-10 use STC-ordered
+streams (paper: STC=500 and 100 — with 500 samples per CIFAR-100 class that
+means one contiguous run per class, which is what our scaled values keep).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..data.registry import dataset_spec
+
+__all__ = ["ExperimentProfile", "get_profile", "stream_settings",
+           "learning_rate", "pretrain_fraction", "PROFILE_NAMES"]
+
+PROFILE_NAMES = ("micro", "smoke", "paper")
+
+
+@dataclass(frozen=True)
+class ExperimentProfile:
+    """Bundle of scale-dependent experiment parameters.
+
+    Attributes
+    ----------
+    name:
+        Profile identifier.
+    dataset_profile:
+        Which registry size variant to load.
+    model_width / model_depth:
+        ConvNet filters per block / number of blocks.
+    segment_size:
+        Stream segment (= sliding window) size ``|I_t|``.
+    pretrain_epochs:
+        Offline pre-training epochs before deployment.
+    train_epochs:
+        Model-update epochs on the buffer (paper: 200; scaled).
+    condense_iterations:
+        ``L`` — synthetic updates per segment (paper: 10).
+    offline_condense_rounds:
+        Offline condensation rounds for buffer initialization.
+    num_seeds:
+        Trials per configuration (paper: 5).
+    """
+
+    name: str
+    dataset_profile: str
+    model_width: int
+    model_depth: int
+    segment_size: int
+    pretrain_epochs: int
+    train_epochs: int
+    condense_iterations: int
+    offline_condense_rounds: int
+    num_seeds: int
+
+
+_PROFILES = {
+    "micro": ExperimentProfile(
+        name="micro", dataset_profile="micro", model_width=8, model_depth=2,
+        segment_size=8, pretrain_epochs=6, train_epochs=5,
+        condense_iterations=2, offline_condense_rounds=1, num_seeds=1),
+    "smoke": ExperimentProfile(
+        name="smoke", dataset_profile="smoke", model_width=16, model_depth=2,
+        segment_size=15, pretrain_epochs=20, train_epochs=12,
+        condense_iterations=10, offline_condense_rounds=1, num_seeds=1),
+    "paper": ExperimentProfile(
+        name="paper", dataset_profile="paper", model_width=32, model_depth=3,
+        segment_size=24, pretrain_epochs=40, train_epochs=60,
+        condense_iterations=10, offline_condense_rounds=2, num_seeds=5),
+}
+
+# Per-dataset on-device learning rates (§IV-A3: 1e-3 everywhere except
+# ImageNet-10's 1e-4; we keep the ratio but raise both because our training
+# budgets are much shorter).
+_LEARNING_RATES = {"imagenet10": 3e-3}
+_DEFAULT_LR = 1e-2
+
+# Pre-training label fractions.  The paper uses 1% (10% for CIFAR-100) of
+# datasets with hundreds of samples per class; our pools are much smaller,
+# so fractions are scaled to land on a comparable handful of labeled
+# samples per class.
+_PRETRAIN_FRACTIONS = {
+    "micro": {"cifar100": 0.30, "default": 0.25},
+    "smoke": {"cifar100": 0.25, "default": 0.10},
+    "paper": {"cifar100": 0.10, "default": 0.05},
+}
+
+
+def get_profile(name: str) -> ExperimentProfile:
+    """Look up an :class:`ExperimentProfile` by name."""
+    if name not in _PROFILES:
+        raise KeyError(f"unknown profile {name!r}; available: {PROFILE_NAMES}")
+    return _PROFILES[name]
+
+
+def learning_rate(dataset_name: str) -> float:
+    """On-device learning rate for a dataset (§IV-A3)."""
+    return _LEARNING_RATES.get(dataset_name, _DEFAULT_LR)
+
+
+def pretrain_fraction(dataset_name: str, profile: str) -> float:
+    """Labeled fraction used for offline pre-training."""
+    table = _PRETRAIN_FRACTIONS[profile]
+    return table.get(dataset_name, table["default"])
+
+
+def stream_settings(dataset_name: str, profile: str) -> dict:
+    """Stream-ordering kwargs for :func:`repro.data.make_stream`.
+
+    iCub1/CORe50 are session-ordered; CIFAR-100/ImageNet-10/CIFAR-10 use
+    STC runs sized relative to their per-class pools, mirroring the paper's
+    STC=500 / STC=100 choices.
+    """
+    if dataset_name in ("icub1", "core50"):
+        return {"session_ordered": True, "stc": None}
+    spec = dataset_spec(dataset_name, profile)
+    if dataset_name == "cifar100":
+        # Paper: STC=500 with 500 samples/class = one run per class.
+        return {"session_ordered": False, "stc": spec.train_per_class}
+    # ImageNet-10-style: a few runs per class (paper: STC=100, ~1300/class).
+    return {"session_ordered": False, "stc": max(10, spec.train_per_class // 2)}

@@ -1,0 +1,114 @@
+"""Table I: final average accuracy of DECO vs the selection baselines.
+
+For each dataset and each IpC in {1, 5, 10, 50}, runs the five selection
+baselines and DECO over the same streams (multiple seeds), plus the
+unlimited-buffer upper bound, and reports mean±std accuracy and DECO's
+relative improvement over the best baseline — the exact quantities of the
+paper's Table I.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..buffer.selection import STRATEGY_NAMES
+from ..utils.metrics import mean_and_std, relative_improvement
+from .common import prepare_experiment, run_method
+from .reporting import format_mean_std, format_table
+
+__all__ = ["Table1Cell", "Table1Result", "run_table1", "format_table1",
+           "DEFAULT_DATASETS", "DEFAULT_IPCS"]
+
+DEFAULT_DATASETS = ("icub1", "core50", "cifar100", "imagenet10")
+DEFAULT_IPCS = (1, 5, 10, 50)
+
+
+@dataclass
+class Table1Cell:
+    """Accuracy of one (dataset, ipc, method) configuration across seeds."""
+
+    accuracies: list[float] = field(default_factory=list)
+
+    @property
+    def mean(self) -> float:
+        return mean_and_std(self.accuracies)[0]
+
+    @property
+    def std(self) -> float:
+        return mean_and_std(self.accuracies)[1]
+
+
+@dataclass
+class Table1Result:
+    """All cells of Table I, keyed (dataset, ipc, method)."""
+
+    cells: dict[tuple[str, int, str], Table1Cell] = field(default_factory=dict)
+    upper_bounds: dict[str, float] = field(default_factory=dict)
+    datasets: tuple[str, ...] = ()
+    ipcs: tuple[int, ...] = ()
+    baselines: tuple[str, ...] = ()
+
+    def cell(self, dataset: str, ipc: int, method: str) -> Table1Cell:
+        return self.cells[(dataset, ipc, method)]
+
+    def best_baseline(self, dataset: str, ipc: int) -> tuple[str, float]:
+        """Name and mean accuracy of the strongest baseline for a config."""
+        best_name, best_acc = "", -1.0
+        for name in self.baselines:
+            acc = self.cell(dataset, ipc, name).mean
+            if acc > best_acc:
+                best_name, best_acc = name, acc
+        return best_name, best_acc
+
+    def improvement(self, dataset: str, ipc: int) -> float:
+        """DECO's % relative improvement over the best baseline."""
+        _, best = self.best_baseline(dataset, ipc)
+        return relative_improvement(self.cell(dataset, ipc, "deco").mean, best)
+
+
+def run_table1(*, datasets: Sequence[str] = DEFAULT_DATASETS,
+               ipcs: Sequence[int] = DEFAULT_IPCS,
+               baselines: Sequence[str] = STRATEGY_NAMES,
+               profile: str = "smoke",
+               seeds: Sequence[int] = (0,),
+               include_upper_bound: bool = True) -> Table1Result:
+    """Regenerate Table I (or any subset of it)."""
+    result = Table1Result(datasets=tuple(datasets), ipcs=tuple(ipcs),
+                          baselines=tuple(baselines))
+    for dataset in datasets:
+        prepared = prepare_experiment(dataset, profile, seed=0)
+        for ipc in ipcs:
+            for method in list(baselines) + ["deco"]:
+                cell = Table1Cell()
+                for seed in seeds:
+                    run = run_method(prepared, method, ipc, seed=seed)
+                    cell.accuracies.append(run.final_accuracy)
+                result.cells[(dataset, ipc, method)] = cell
+        if include_upper_bound:
+            ub = [run_method(prepared, "upper_bound", 1, seed=s).final_accuracy
+                  for s in seeds[:1]]
+            result.upper_bounds[dataset] = float(np.mean(ub))
+    return result
+
+
+def format_table1(result: Table1Result) -> str:
+    """Render the result in the paper's Table I layout."""
+    headers = (["Dataset", "IpC"] + list(result.baselines)
+               + ["DECO (Ours)", "Improvement", "Upper Bound"])
+    rows = []
+    for dataset in result.datasets:
+        for i, ipc in enumerate(result.ipcs):
+            row = [dataset if i == 0 else "", str(ipc)]
+            for method in result.baselines:
+                cell = result.cell(dataset, ipc, method)
+                row.append(format_mean_std(cell.mean, cell.std))
+            deco = result.cell(dataset, ipc, "deco")
+            row.append(format_mean_std(deco.mean, deco.std))
+            row.append(f"{result.improvement(dataset, ipc):+.1f}%")
+            ub = result.upper_bounds.get(dataset)
+            row.append(f"{ub * 100:.2f}%" if (i == 0 and ub is not None) else "")
+            rows.append(row)
+    return format_table(headers, rows, title="Table I: final average accuracy")

@@ -1,0 +1,31 @@
+"""Neural-network substrate: autodiff engine, layers, models, optimizers, losses.
+
+The paper's experiments run on PyTorch; this package is our from-scratch
+numpy replacement providing exactly the capabilities DECO needs — gradients
+with respect to parameters *and* inputs, a ConvNet backbone with an exposed
+encoder, SGD/Adam optimizers, and the paper's loss functions.
+"""
+
+from . import functional, init
+from .convnet import ConvNet
+from .layers import (AvgPool2d, BatchNorm2d, Conv2d, Flatten, GroupNorm2d,
+                     Identity, InstanceNorm2d, LeakyReLU, Linear, MaxPool2d,
+                     Module, ReLU, Sequential, Sigmoid, Tanh)
+from .losses import (accuracy, cross_entropy, feature_discrimination_loss,
+                     gradient_distance, mse_loss)
+from .mlp import MLP
+from .optim import SGD, Adam, CosineLR, Optimizer, StepLR
+from .resnet import ResidualBlock, ResNet
+from .tensor import Tensor, concatenate, is_grad_enabled, no_grad, stack, tensor, where
+
+__all__ = [
+    "Tensor", "tensor", "no_grad", "is_grad_enabled", "concatenate", "stack", "where",
+    "functional", "init",
+    "Module", "Sequential", "Linear", "Conv2d", "InstanceNorm2d", "GroupNorm2d",
+    "BatchNorm2d", "ReLU", "LeakyReLU", "Tanh", "Sigmoid", "AvgPool2d", "MaxPool2d",
+    "Flatten", "Identity",
+    "ConvNet", "MLP", "ResNet", "ResidualBlock",
+    "Optimizer", "SGD", "Adam", "StepLR", "CosineLR",
+    "cross_entropy", "accuracy", "feature_discrimination_loss", "gradient_distance",
+    "mse_loss",
+]

@@ -1,0 +1,328 @@
+"""Neural-network functional operations built on the autodiff engine.
+
+Contains the structured operations (convolution, pooling, normalization,
+softmax-family) that the :mod:`repro.nn.layers` modules wrap.  Convolution
+uses an im2col formulation with numpy stride tricks; normalization layers use
+fused hand-derived backward passes for speed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = [
+    "conv2d",
+    "avg_pool2d",
+    "max_pool2d",
+    "global_avg_pool2d",
+    "instance_norm2d",
+    "group_norm2d",
+    "batch_norm2d",
+    "softmax",
+    "log_softmax",
+    "l2_normalize",
+    "linear",
+    "dropout",
+    "embedding_lookup",
+]
+
+
+# ----------------------------------------------------------------------
+# im2col helpers
+# ----------------------------------------------------------------------
+def _im2col(x: np.ndarray, kh: int, kw: int, stride: int, pad: int) -> np.ndarray:
+    """Expand NCHW ``x`` into (N, C*kh*kw, L) patch columns."""
+    if pad:
+        x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+    n, c, h, w = x.shape
+    oh = (h - kh) // stride + 1
+    ow = (w - kw) // stride + 1
+    s0, s1, s2, s3 = x.strides
+    shape = (n, c, kh, kw, oh, ow)
+    strides = (s0, s1, s2, s3, s2 * stride, s3 * stride)
+    cols = np.lib.stride_tricks.as_strided(x, shape=shape, strides=strides)
+    return np.ascontiguousarray(cols).reshape(n, c * kh * kw, oh * ow)
+
+
+def _col2im(dcols: np.ndarray, x_shape: tuple[int, ...], kh: int, kw: int,
+            stride: int, pad: int) -> np.ndarray:
+    """Scatter-add (N, C*kh*kw, L) patch gradients back to NCHW."""
+    n, c, h, w = x_shape
+    hp, wp = h + 2 * pad, w + 2 * pad
+    oh = (hp - kh) // stride + 1
+    ow = (wp - kw) // stride + 1
+    dcols = dcols.reshape(n, c, kh, kw, oh, ow)
+    dx = np.zeros((n, c, hp, wp), dtype=dcols.dtype)
+    for i in range(kh):
+        for j in range(kw):
+            dx[:, :, i:i + stride * oh:stride, j:j + stride * ow:stride] += dcols[:, :, i, j]
+    if pad:
+        dx = dx[:, :, pad:-pad, pad:-pad]
+    return dx
+
+
+def conv2d(x: Tensor, weight: Tensor, bias: Tensor | None = None, *,
+           stride: int = 1, padding: int = 0) -> Tensor:
+    """2D convolution.
+
+    Parameters
+    ----------
+    x:
+        Input of shape (N, C, H, W).
+    weight:
+        Kernel of shape (OC, C, KH, KW).
+    bias:
+        Optional per-output-channel bias of shape (OC,).
+    """
+    n, c, h, w = x.shape
+    oc, ic, kh, kw = weight.shape
+    if ic != c:
+        raise ValueError(f"conv2d channel mismatch: input has {c}, kernel expects {ic}")
+    oh = (h + 2 * padding - kh) // stride + 1
+    ow = (w + 2 * padding - kw) // stride + 1
+
+    cols = _im2col(x.data, kh, kw, stride, padding)  # (N, CKK, L)
+    w2 = weight.data.reshape(oc, -1)  # (OC, CKK)
+    out = np.einsum("ok,nkl->nol", w2, cols, optimize=True)
+    out = out.reshape(n, oc, oh, ow)
+    if bias is not None:
+        out = out + bias.data.reshape(1, oc, 1, 1)
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward(g: np.ndarray) -> None:
+        gflat = g.reshape(n, oc, oh * ow)
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(gflat.sum(axis=(0, 2)))
+        if weight.requires_grad:
+            dw = np.einsum("nol,nkl->ok", gflat, cols, optimize=True)
+            weight._accumulate(dw.reshape(weight.shape))
+        if x.requires_grad:
+            dcols = np.einsum("ok,nol->nkl", w2, gflat, optimize=True)
+            x._accumulate(_col2im(dcols, x.shape, kh, kw, stride, padding))
+
+    return Tensor._make(out.astype(np.float32), parents, "conv2d", backward)
+
+
+def avg_pool2d(x: Tensor, kernel_size: int = 2) -> Tensor:
+    """Non-overlapping average pooling; spatial dims must divide evenly."""
+    k = int(kernel_size)
+    n, c, h, w = x.shape
+    if h % k or w % k:
+        raise ValueError(f"avg_pool2d: spatial dims ({h},{w}) not divisible by {k}")
+    oh, ow = h // k, w // k
+    reshaped = x.data.reshape(n, c, oh, k, ow, k)
+    out = reshaped.mean(axis=(3, 5))
+
+    def backward(g: np.ndarray) -> None:
+        grad = np.repeat(np.repeat(g, k, axis=2), k, axis=3) / (k * k)
+        x._accumulate(grad.astype(np.float32))
+
+    return Tensor._make(out.astype(np.float32), (x,), "avg_pool2d", backward)
+
+
+def max_pool2d(x: Tensor, kernel_size: int = 2) -> Tensor:
+    """Non-overlapping max pooling; spatial dims must divide evenly."""
+    k = int(kernel_size)
+    n, c, h, w = x.shape
+    if h % k or w % k:
+        raise ValueError(f"max_pool2d: spatial dims ({h},{w}) not divisible by {k}")
+    oh, ow = h // k, w // k
+    windows = x.data.reshape(n, c, oh, k, ow, k)
+    out = windows.max(axis=(3, 5))
+    mask = windows == out[:, :, :, None, :, None]
+    counts = mask.sum(axis=(3, 5), keepdims=True)
+
+    def backward(g: np.ndarray) -> None:
+        grad = (mask / counts) * g[:, :, :, None, :, None]
+        x._accumulate(grad.reshape(x.shape).astype(np.float32))
+
+    return Tensor._make(out.astype(np.float32), (x,), "max_pool2d", backward)
+
+
+def global_avg_pool2d(x: Tensor) -> Tensor:
+    """Average over the spatial dimensions: (N, C, H, W) -> (N, C)."""
+    return x.mean(axis=(2, 3))
+
+
+# ----------------------------------------------------------------------
+# Normalization (fused forward/backward for speed)
+# ----------------------------------------------------------------------
+def _norm_backward(g, xhat, inv_std, axes):
+    """Gradient of y = xhat for normalization over ``axes``."""
+    m = 1
+    for a in axes:
+        m *= xhat.shape[a]
+    sum_g = g.sum(axis=axes, keepdims=True)
+    sum_gx = (g * xhat).sum(axis=axes, keepdims=True)
+    return (inv_std / m) * (m * g - sum_g - xhat * sum_gx)
+
+
+def instance_norm2d(x: Tensor, gamma: Tensor | None = None,
+                    beta: Tensor | None = None, eps: float = 1e-5) -> Tensor:
+    """Instance normalization over (H, W) per sample and channel.
+
+    This is the normalization used by the ConvNet backbone in the dataset
+    condensation literature (DC/DSA/DM) and hence in DECO.
+    """
+    axes = (2, 3)
+    mean = x.data.mean(axis=axes, keepdims=True)
+    var = x.data.var(axis=axes, keepdims=True)
+    inv_std = 1.0 / np.sqrt(var + eps)
+    xhat = (x.data - mean) * inv_std
+    out = xhat
+    c = x.shape[1]
+    if gamma is not None:
+        out = out * gamma.data.reshape(1, c, 1, 1)
+    if beta is not None:
+        out = out + beta.data.reshape(1, c, 1, 1)
+
+    parents = [x]
+    if gamma is not None:
+        parents.append(gamma)
+    if beta is not None:
+        parents.append(beta)
+
+    def backward(g: np.ndarray) -> None:
+        if beta is not None and beta.requires_grad:
+            beta._accumulate(g.sum(axis=(0, 2, 3)))
+        if gamma is not None and gamma.requires_grad:
+            gamma._accumulate((g * xhat).sum(axis=(0, 2, 3)))
+        if x.requires_grad:
+            gy = g * gamma.data.reshape(1, c, 1, 1) if gamma is not None else g
+            x._accumulate(_norm_backward(gy, xhat, inv_std, axes).astype(np.float32))
+
+    return Tensor._make(out.astype(np.float32), parents, "instance_norm2d", backward)
+
+
+def group_norm2d(x: Tensor, num_groups: int, gamma: Tensor | None = None,
+                 beta: Tensor | None = None, eps: float = 1e-5) -> Tensor:
+    """Group normalization over (C/G, H, W) within each of ``num_groups``."""
+    n, c, h, w = x.shape
+    if c % num_groups:
+        raise ValueError(f"group_norm2d: {c} channels not divisible by {num_groups} groups")
+    xg = x.data.reshape(n, num_groups, c // num_groups, h, w)
+    axes = (2, 3, 4)
+    mean = xg.mean(axis=axes, keepdims=True)
+    var = xg.var(axis=axes, keepdims=True)
+    inv_std = 1.0 / np.sqrt(var + eps)
+    xhat = ((xg - mean) * inv_std).reshape(n, c, h, w)
+    out = xhat
+    if gamma is not None:
+        out = out * gamma.data.reshape(1, c, 1, 1)
+    if beta is not None:
+        out = out + beta.data.reshape(1, c, 1, 1)
+
+    parents = [x]
+    if gamma is not None:
+        parents.append(gamma)
+    if beta is not None:
+        parents.append(beta)
+
+    def backward(g: np.ndarray) -> None:
+        if beta is not None and beta.requires_grad:
+            beta._accumulate(g.sum(axis=(0, 2, 3)))
+        if gamma is not None and gamma.requires_grad:
+            gamma._accumulate((g * xhat).sum(axis=(0, 2, 3)))
+        if x.requires_grad:
+            gy = g * gamma.data.reshape(1, c, 1, 1) if gamma is not None else g
+            gyg = gy.reshape(n, num_groups, c // num_groups, h, w)
+            xhatg = xhat.reshape(n, num_groups, c // num_groups, h, w)
+            dx = _norm_backward(gyg, xhatg, inv_std, axes)
+            x._accumulate(dx.reshape(x.shape).astype(np.float32))
+
+    return Tensor._make(out.astype(np.float32), parents, "group_norm2d", backward)
+
+
+def batch_norm2d(x: Tensor, gamma: Tensor | None = None,
+                 beta: Tensor | None = None, eps: float = 1e-5) -> Tensor:
+    """Training-mode batch normalization over (N, H, W) per channel."""
+    axes = (0, 2, 3)
+    mean = x.data.mean(axis=axes, keepdims=True)
+    var = x.data.var(axis=axes, keepdims=True)
+    inv_std = 1.0 / np.sqrt(var + eps)
+    xhat = (x.data - mean) * inv_std
+    c = x.shape[1]
+    out = xhat
+    if gamma is not None:
+        out = out * gamma.data.reshape(1, c, 1, 1)
+    if beta is not None:
+        out = out + beta.data.reshape(1, c, 1, 1)
+
+    parents = [x]
+    if gamma is not None:
+        parents.append(gamma)
+    if beta is not None:
+        parents.append(beta)
+
+    def backward(g: np.ndarray) -> None:
+        if beta is not None and beta.requires_grad:
+            beta._accumulate(g.sum(axis=(0, 2, 3)))
+        if gamma is not None and gamma.requires_grad:
+            gamma._accumulate((g * xhat).sum(axis=(0, 2, 3)))
+        if x.requires_grad:
+            gy = g * gamma.data.reshape(1, c, 1, 1) if gamma is not None else g
+            x._accumulate(_norm_backward(gy, xhat, inv_std, axes).astype(np.float32))
+
+    return Tensor._make(out.astype(np.float32), parents, "batch_norm2d", backward)
+
+
+# ----------------------------------------------------------------------
+# Softmax family
+# ----------------------------------------------------------------------
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax with a fused backward pass."""
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    logsumexp = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out = shifted - logsumexp
+    softmax_vals = np.exp(out)
+
+    def backward(g: np.ndarray) -> None:
+        x._accumulate((g - softmax_vals * g.sum(axis=axis, keepdims=True)).astype(np.float32))
+
+    return Tensor._make(out.astype(np.float32), (x,), "log_softmax", backward)
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax with a fused backward pass."""
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    out = e / e.sum(axis=axis, keepdims=True)
+
+    def backward(g: np.ndarray) -> None:
+        dot = (g * out).sum(axis=axis, keepdims=True)
+        x._accumulate((out * (g - dot)).astype(np.float32))
+
+    return Tensor._make(out.astype(np.float32), (x,), "softmax", backward)
+
+
+def l2_normalize(x: Tensor, axis: int = -1, eps: float = 1e-12) -> Tensor:
+    """Normalize vectors to unit L2 norm along ``axis`` (for Eq. 8 features)."""
+    norm = ((x * x).sum(axis=axis, keepdims=True) + eps).sqrt()
+    return x / norm
+
+
+def linear(x: Tensor, weight: Tensor, bias: Tensor | None = None) -> Tensor:
+    """Affine map ``x @ weight.T + bias`` with (out, in)-shaped weight."""
+    out = x.matmul(weight.T)
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def dropout(x: Tensor, p: float, rng: np.random.Generator,
+            training: bool = True) -> Tensor:
+    """Inverted dropout; identity when not training or p == 0."""
+    if not training or p <= 0.0:
+        return x
+    keep = 1.0 - p
+    mask = (rng.random(x.shape) < keep).astype(np.float32) / keep
+    return x * Tensor(mask)
+
+
+def embedding_lookup(table: Tensor, indices: np.ndarray) -> Tensor:
+    """Row lookup with scatter-add gradients (used by prototype models)."""
+    idx = np.asarray(indices, dtype=np.int64)
+    return table[idx]

@@ -1,0 +1,49 @@
+"""A small multilayer perceptron, used in unit tests and micro-experiments.
+
+The MLP consumes flattened images and exposes the same ``features``/
+``forward`` split as :class:`repro.nn.convnet.ConvNet`, so every algorithm in
+the repository can run on either backbone.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .layers import Linear, Module, ReLU, Sequential
+from .tensor import Tensor
+
+__all__ = ["MLP"]
+
+
+class MLP(Module):
+    """Fully connected ReLU network with a linear classifier head."""
+
+    def __init__(self, in_features: int, num_classes: int, *,
+                 hidden: tuple[int, ...] = (64, 64),
+                 rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.in_features = in_features
+        self.num_classes = num_classes
+        self.hidden = tuple(hidden)
+
+        layers: list[Module] = []
+        prev = in_features
+        for width in hidden:
+            layers.append(Linear(prev, width, rng=rng))
+            layers.append(ReLU())
+            prev = width
+        self.encoder = Sequential(*layers)
+        self.feature_dim = prev
+        self.classifier = Linear(prev, num_classes, rng=rng)
+
+    def _flatten(self, x: Tensor) -> Tensor:
+        return x.flatten(1) if x.ndim > 2 else x
+
+    def features(self, x: Tensor) -> Tensor:
+        """Return the penultimate embedding for a batch."""
+        return self.encoder(self._flatten(x))
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Return class logits for a batch (images are auto-flattened)."""
+        return self.classifier(self.features(x))

@@ -1,0 +1,129 @@
+"""Optimizers for model parameters and synthetic-image pixels.
+
+Both uses are the same mechanically — an optimizer owns a list of
+:class:`~repro.nn.tensor.Tensor` objects and applies updates from their
+``.grad`` fields — which is exactly how the paper treats ``opt_theta`` (the
+model optimizer) and ``opt_S`` (the condensed-dataset optimizer) in
+Algorithm 1.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["Optimizer", "SGD", "Adam", "StepLR", "CosineLR"]
+
+
+class Optimizer:
+    """Base optimizer over a fixed list of tensors."""
+
+    def __init__(self, params: Sequence[Tensor], lr: float) -> None:
+        self.params = list(params)
+        if not self.params:
+            raise ValueError("optimizer got an empty parameter list")
+        self.lr = float(lr)
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.grad = None
+
+    def step(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """SGD with momentum and decoupled L2 weight decay.
+
+    This matches the paper's training setup ("SGD with momentum ... weight
+    decay of 5e-4").
+    """
+
+    def __init__(self, params: Sequence[Tensor], lr: float, *,
+                 momentum: float = 0.9, weight_decay: float = 0.0) -> None:
+        super().__init__(params, lr)
+        self.momentum = float(momentum)
+        self.weight_decay = float(weight_decay)
+        self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        for p, v in zip(self.params, self._velocity):
+            if p.grad is None:
+                continue
+            grad = p.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.data
+            if self.momentum:
+                v *= self.momentum
+                v += grad
+                update = v
+            else:
+                update = grad
+            p.data = p.data - self.lr * update
+
+
+class Adam(Optimizer):
+    """Adam optimizer (used as the synthetic-data optimizer ``opt_S``)."""
+
+    def __init__(self, params: Sequence[Tensor], lr: float, *,
+                 betas: tuple[float, float] = (0.9, 0.999), eps: float = 1e-8,
+                 weight_decay: float = 0.0) -> None:
+        super().__init__(params, lr)
+        self.beta1, self.beta2 = betas
+        self.eps = float(eps)
+        self.weight_decay = float(weight_decay)
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        bias1 = 1.0 - self.beta1 ** self._t
+        bias2 = 1.0 - self.beta2 ** self._t
+        for p, m, v in zip(self.params, self._m, self._v):
+            if p.grad is None:
+                continue
+            grad = p.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.data
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad * grad
+            m_hat = m / bias1
+            v_hat = v / bias2
+            p.data = p.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class StepLR:
+    """Multiply the optimizer's learning rate by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1) -> None:
+        self.optimizer = optimizer
+        self.step_size = int(step_size)
+        self.gamma = float(gamma)
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def step(self) -> None:
+        self.epoch += 1
+        self.optimizer.lr = self.base_lr * self.gamma ** (self.epoch // self.step_size)
+
+
+class CosineLR:
+    """Cosine-anneal the learning rate to zero over ``total_epochs``."""
+
+    def __init__(self, optimizer: Optimizer, total_epochs: int) -> None:
+        self.optimizer = optimizer
+        self.total_epochs = max(1, int(total_epochs))
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def step(self) -> None:
+        self.epoch = min(self.epoch + 1, self.total_epochs)
+        frac = self.epoch / self.total_epochs
+        self.optimizer.lr = 0.5 * self.base_lr * (1.0 + math.cos(math.pi * frac))

@@ -1,0 +1,83 @@
+"""A compact residual network backbone.
+
+The paper (and the dataset-condensation literature it builds on) uses the
+plain ConvNet as the default backbone but the method is
+architecture-agnostic; this ResNet exists to demonstrate and test that
+claim — every learner/condenser in the repository accepts any model with
+the ``features``/``forward``/``num_classes``/``feature_dim`` contract.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import functional as F
+from .layers import (AvgPool2d, Conv2d, Flatten, InstanceNorm2d, Linear,
+                     Module, ReLU, Sequential)
+from .tensor import Tensor
+
+__all__ = ["ResidualBlock", "ResNet"]
+
+
+class ResidualBlock(Module):
+    """Two 3x3 conv-norm layers with an identity (or 1x1-projected) skip."""
+
+    def __init__(self, in_channels: int, out_channels: int, *,
+                 rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.conv1 = Conv2d(in_channels, out_channels, 3, padding=1, rng=rng)
+        self.norm1 = InstanceNorm2d(out_channels)
+        self.conv2 = Conv2d(out_channels, out_channels, 3, padding=1, rng=rng)
+        self.norm2 = InstanceNorm2d(out_channels)
+        self.projection = (Conv2d(in_channels, out_channels, 1, bias=False,
+                                  rng=rng)
+                           if in_channels != out_channels else None)
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.norm1(self.conv1(x)).relu()
+        out = self.norm2(self.conv2(out))
+        skip = self.projection(x) if self.projection is not None else x
+        return (out + skip).relu()
+
+
+class ResNet(Module):
+    """Small residual classifier with the repository's backbone contract.
+
+    Structure: stem conv -> ``depth`` residual blocks, each followed by
+    2x2 average pooling -> flatten -> linear classifier.
+    """
+
+    def __init__(self, in_channels: int, num_classes: int, image_size: int, *,
+                 width: int = 16, depth: int = 2,
+                 rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        if image_size % (2 ** depth):
+            raise ValueError(f"image_size={image_size} not divisible by 2^{depth}")
+        rng = rng or np.random.default_rng()
+        self.in_channels = in_channels
+        self.num_classes = num_classes
+        self.image_size = image_size
+        self.width = width
+        self.depth = depth
+
+        layers: list[Module] = [Conv2d(in_channels, width, 3, padding=1,
+                                       rng=rng),
+                                InstanceNorm2d(width), ReLU()]
+        for _ in range(depth):
+            layers.append(ResidualBlock(width, width, rng=rng))
+            layers.append(AvgPool2d(2))
+        layers.append(Flatten())
+        self.encoder = Sequential(*layers)
+
+        spatial = image_size // (2 ** depth)
+        self.feature_dim = width * spatial * spatial
+        self.classifier = Linear(self.feature_dim, num_classes, rng=rng)
+
+    def features(self, x: Tensor) -> Tensor:
+        """Return the flattened pre-classifier embedding."""
+        return self.encoder(x)
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Return class logits for an (N, C, H, W) batch."""
+        return self.classifier(self.features(x))

@@ -1,0 +1,64 @@
+"""Terminal rendering of image tensors.
+
+Synthetic buffer images have no file-based visualization path in a
+headless environment; these helpers render (C, H, W) arrays as ASCII
+intensity maps so examples and debugging sessions can *look* at what
+condensation produced.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["render_image", "render_grid"]
+
+_RAMP = " .:-=+*#%@"
+
+
+def render_image(image: np.ndarray, *, width: int | None = None) -> str:
+    """Render a (C, H, W) or (H, W) array as an ASCII intensity map.
+
+    Channels are averaged; intensities are min-max normalized per image.
+    ``width`` optionally subsamples columns to fit a terminal.
+    """
+    arr = np.asarray(image, dtype=np.float64)
+    if arr.ndim == 3:
+        arr = arr.mean(axis=0)
+    if arr.ndim != 2:
+        raise ValueError(f"expected (C,H,W) or (H,W), got shape {arr.shape}")
+    if width is not None and width < arr.shape[1]:
+        step = int(np.ceil(arr.shape[1] / width))
+        arr = arr[::step, ::step]
+    low, high = float(arr.min()), float(arr.max())
+    if high - low < 1e-12:
+        normalized = np.zeros_like(arr)
+    else:
+        normalized = (arr - low) / (high - low)
+    indices = np.clip((normalized * (len(_RAMP) - 1)).round().astype(int),
+                      0, len(_RAMP) - 1)
+    return "\n".join("".join(_RAMP[i] for i in row) for row in indices)
+
+
+def render_grid(images: np.ndarray, *, columns: int = 4,
+                labels: np.ndarray | None = None,
+                separator: str = "  ") -> str:
+    """Render several images side by side, ``columns`` per text row."""
+    images = np.asarray(images)
+    if images.ndim != 4:
+        raise ValueError("expected an (N, C, H, W) batch")
+    blocks = []
+    for start in range(0, len(images), columns):
+        group = images[start:start + columns]
+        rendered = [render_image(img).splitlines() for img in group]
+        if labels is not None:
+            header = separator.join(
+                f"[{labels[start + i]}]".ljust(len(rendered[i][0]))
+                for i in range(len(group)))
+            blocks.append(header)
+        height = max(len(r) for r in rendered)
+        for line_index in range(height):
+            blocks.append(separator.join(r[line_index] for r in rendered))
+        blocks.append("")
+    if blocks and blocks[-1] == "":
+        blocks.pop()  # drop the trailing group separator
+    return "\n".join(blocks)

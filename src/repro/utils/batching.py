@@ -1,0 +1,28 @@
+"""Minibatch iteration helpers."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["iterate_minibatches"]
+
+
+def iterate_minibatches(num_items: int, batch_size: int, *,
+                        rng: np.random.Generator | None = None,
+                        drop_last: bool = False) -> Iterator[np.ndarray]:
+    """Yield index arrays covering ``range(num_items)`` in batches.
+
+    Shuffles when ``rng`` is provided; otherwise iterates in order.
+    """
+    if num_items <= 0:
+        return
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    order = rng.permutation(num_items) if rng is not None else np.arange(num_items)
+    for start in range(0, num_items, batch_size):
+        batch = order[start:start + batch_size]
+        if drop_last and batch.size < batch_size:
+            return
+        yield batch

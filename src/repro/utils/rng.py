@@ -1,0 +1,28 @@
+"""Deterministic random-number-generator threading.
+
+Every stochastic component in the repository accepts either a seed or a
+``numpy.random.Generator``; these helpers normalize that and derive
+independent child generators so experiments are reproducible end to end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["to_rng", "spawn_rngs"]
+
+
+def to_rng(seed_or_rng: int | np.random.Generator | None) -> np.random.Generator:
+    """Coerce a seed, Generator, or None into a ``numpy.random.Generator``."""
+    if isinstance(seed_or_rng, np.random.Generator):
+        return seed_or_rng
+    return np.random.default_rng(seed_or_rng)
+
+
+def spawn_rngs(seed_or_rng: int | np.random.Generator | None,
+               count: int) -> list[np.random.Generator]:
+    """Derive ``count`` statistically independent child generators."""
+    rng = to_rng(seed_or_rng)
+    return [np.random.default_rng(s) for s in rng.bit_generator.seed_seq.spawn(count)] \
+        if hasattr(rng.bit_generator, "seed_seq") and rng.bit_generator.seed_seq is not None \
+        else [np.random.default_rng(rng.integers(0, 2 ** 63)) for _ in range(count)]

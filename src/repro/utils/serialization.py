@@ -1,0 +1,20 @@
+"""Saving and loading of array dictionaries (model weights, buffers)."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+__all__ = ["save_array_dict", "load_array_dict"]
+
+
+def save_array_dict(path: str | os.PathLike, arrays: dict[str, np.ndarray]) -> None:
+    """Persist a name->array mapping to a compressed ``.npz`` file."""
+    np.savez_compressed(path, **arrays)
+
+
+def load_array_dict(path: str | os.PathLike) -> dict[str, np.ndarray]:
+    """Load a name->array mapping previously written by :func:`save_array_dict`."""
+    with np.load(path) as archive:
+        return {name: archive[name] for name in archive.files}

@@ -1,0 +1,156 @@
+"""Unit tests for buffers (repro.buffer.buffer)."""
+
+import numpy as np
+import pytest
+
+from repro.buffer.buffer import RawBuffer, SyntheticBuffer
+
+SHAPE = (1, 4, 4)
+
+
+class TestSyntheticBuffer:
+    def test_layout_is_class_blocked(self):
+        buf = SyntheticBuffer(3, 2, SHAPE)
+        np.testing.assert_array_equal(buf.labels, [0, 0, 1, 1, 2, 2])
+        np.testing.assert_array_equal(buf.class_indices(1), [2, 3])
+
+    def test_capacity_and_len(self):
+        buf = SyntheticBuffer(4, 5, SHAPE)
+        assert len(buf) == 20
+        assert buf.capacity == 20
+
+    def test_memory_bytes(self):
+        buf = SyntheticBuffer(2, 3, SHAPE)
+        assert buf.memory_bytes == 6 * 16 * 4  # float32
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            SyntheticBuffer(0, 1, SHAPE)
+        with pytest.raises(ValueError):
+            SyntheticBuffer(2, 0, SHAPE)
+
+    def test_class_indices_out_of_range(self):
+        buf = SyntheticBuffer(2, 1, SHAPE)
+        with pytest.raises(IndexError):
+            buf.class_indices(2)
+
+    def test_indices_for_classes_sorted_and_deduped(self):
+        buf = SyntheticBuffer(4, 2, SHAPE)
+        idx = buf.indices_for_classes([2, 0, 2])
+        np.testing.assert_array_equal(idx, [0, 1, 4, 5])
+
+    def test_indices_for_empty_class_list(self):
+        buf = SyntheticBuffer(2, 2, SHAPE)
+        assert buf.indices_for_classes([]).size == 0
+
+    def test_init_random_fills_all(self, rng):
+        buf = SyntheticBuffer(2, 2, SHAPE)
+        buf.init_random(rng, scale=2.0)
+        assert buf.images.std() > 1.0
+
+    def test_init_from_samples_uses_class_data(self, rng):
+        buf = SyntheticBuffer(2, 2, SHAPE)
+        x = np.stack([np.full(SHAPE, i, dtype=np.float32) for i in range(6)])
+        y = np.array([0, 0, 0, 1, 1, 1])
+        buf.init_from_samples(x, y, rng=rng)
+        for row in buf.class_indices(0):
+            assert buf.images[row].flat[0] in (0.0, 1.0, 2.0)
+        for row in buf.class_indices(1):
+            assert buf.images[row].flat[0] in (3.0, 4.0, 5.0)
+
+    def test_init_from_samples_pads_with_perturbed_duplicates(self, rng):
+        buf = SyntheticBuffer(2, 3, SHAPE)
+        x = np.zeros((1, *SHAPE), dtype=np.float32)
+        y = np.array([0])
+        buf.init_from_samples(x, y, rng=rng)
+        # Class 0 row 0 is the real sample; rows 1-2 are jittered duplicates
+        # of it (close to the sample, not unit-scale noise).
+        assert np.allclose(buf.images[0], 0.0)
+        assert 0.0 < buf.images[1].std() < 0.3
+        assert 0.0 < buf.images[2].std() < 0.3
+        # Class 1 has no real samples at all -> unit-scale noise.
+        assert buf.images[3].std() > 0.5
+
+    def test_images_for_class(self, rng):
+        buf = SyntheticBuffer(3, 2, SHAPE)
+        buf.init_random(rng)
+        np.testing.assert_array_equal(buf.images_for_class(2),
+                                      buf.images[4:6])
+
+    def test_as_training_set_returns_copies(self, rng):
+        buf = SyntheticBuffer(2, 1, SHAPE)
+        buf.init_random(rng)
+        x, y = buf.as_training_set()
+        x[:] = 0.0
+        assert buf.images.std() > 0.0
+
+    def test_state_dict_roundtrip(self, rng):
+        a = SyntheticBuffer(2, 2, SHAPE)
+        a.init_random(rng)
+        b = SyntheticBuffer(2, 2, SHAPE)
+        b.load_state_dict(a.state_dict())
+        np.testing.assert_array_equal(a.images, b.images)
+
+    def test_state_dict_shape_mismatch(self, rng):
+        a = SyntheticBuffer(2, 2, SHAPE)
+        b = SyntheticBuffer(2, 3, SHAPE)
+        with pytest.raises(ValueError, match="mismatch"):
+            b.load_state_dict(a.state_dict())
+
+
+class TestRawBuffer:
+    def test_add_until_full(self):
+        buf = RawBuffer(2, SHAPE)
+        buf.add(np.zeros(SHAPE, dtype=np.float32), 0)
+        assert not buf.is_full
+        buf.add(np.zeros(SHAPE, dtype=np.float32), 1)
+        assert buf.is_full
+        with pytest.raises(RuntimeError, match="full"):
+            buf.add(np.zeros(SHAPE, dtype=np.float32), 0)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            RawBuffer(0, SHAPE)
+
+    def test_replace(self):
+        buf = RawBuffer(2, SHAPE)
+        buf.add(np.zeros(SHAPE, dtype=np.float32), 0)
+        buf.replace(0, np.ones(SHAPE, dtype=np.float32), 1)
+        assert buf.labels[0] == 1
+        np.testing.assert_array_equal(buf.images[0], 1.0)
+
+    def test_replace_unoccupied_slot_raises(self):
+        buf = RawBuffer(3, SHAPE)
+        buf.add(np.zeros(SHAPE, dtype=np.float32), 0)
+        with pytest.raises(IndexError):
+            buf.replace(1, np.zeros(SHAPE, dtype=np.float32), 0)
+
+    def test_total_seen_counts_adds_and_replaces(self):
+        buf = RawBuffer(1, SHAPE)
+        buf.add(np.zeros(SHAPE, dtype=np.float32), 0)
+        buf.replace(0, np.zeros(SHAPE, dtype=np.float32), 0)
+        assert buf.total_seen == 2
+
+    def test_aux_metadata(self):
+        buf = RawBuffer(3, SHAPE)
+        buf.add(np.zeros(SHAPE, dtype=np.float32), 0, confidence=0.9)
+        buf.add(np.zeros(SHAPE, dtype=np.float32), 1, confidence=0.1)
+        np.testing.assert_allclose(buf.get_aux("confidence"), [0.9, 0.1])
+
+    def test_aux_defaults_to_zero(self):
+        buf = RawBuffer(2, SHAPE)
+        buf.add(np.zeros(SHAPE, dtype=np.float32), 0)
+        np.testing.assert_allclose(buf.get_aux("score"), [0.0])
+
+    def test_as_training_set_only_occupied(self):
+        buf = RawBuffer(5, SHAPE)
+        buf.add(np.zeros(SHAPE, dtype=np.float32), 3)
+        x, y = buf.as_training_set()
+        assert x.shape == (1, *SHAPE)
+        np.testing.assert_array_equal(y, [3])
+
+    def test_memory_bytes_tracks_occupancy(self):
+        buf = RawBuffer(4, SHAPE)
+        assert buf.memory_bytes == 0
+        buf.add(np.zeros(SHAPE, dtype=np.float32), 0)
+        assert buf.memory_bytes == 16 * 4

@@ -1,0 +1,88 @@
+"""Unit tests for the herding selection strategy (iCaRL-style, [23])."""
+
+import numpy as np
+import pytest
+
+from repro.buffer.buffer import RawBuffer
+from repro.buffer.selection import Herding, make_strategy
+from repro.nn.convnet import ConvNet
+
+SHAPE = (1, 8, 8)
+
+
+@pytest.fixture
+def model(rng):
+    return ConvNet(1, 2, 8, width=4, depth=2, rng=rng)
+
+
+class TestHerdingAlgorithm:
+    def test_greedy_order_prefers_mean_proximity(self):
+        # 1D features: mean of {0, 1, 10} is ~3.67; the greedy first pick
+        # is the single point closest to the mean.
+        feats = np.array([[0.0], [1.0], [10.0]])
+        order = Herding._herd(feats, 3)
+        assert order[0] == 1  # 1.0 is closest to 3.67
+
+    def test_quota_respected(self):
+        feats = np.random.default_rng(0).standard_normal((10, 4))
+        assert len(Herding._herd(feats, 3)) == 3
+
+    def test_quota_larger_than_pool(self):
+        feats = np.random.default_rng(0).standard_normal((2, 4))
+        assert len(Herding._herd(feats, 5)) == 2
+
+    def test_selected_subset_tracks_class_mean(self):
+        rng = np.random.default_rng(0)
+        feats = rng.standard_normal((30, 6))
+        chosen = Herding._herd(feats, 5)
+        random_pick = rng.choice(30, 5, replace=False)
+        mean = feats.mean(axis=0)
+        herd_gap = np.linalg.norm(mean - feats[chosen].mean(axis=0))
+        rand_gap = np.linalg.norm(mean - feats[random_pick].mean(axis=0))
+        assert herd_gap <= rand_gap + 1e-9
+
+
+class TestHerdingStrategy:
+    def test_requires_model(self, rng):
+        buf = RawBuffer(4, SHAPE)
+        images = rng.standard_normal((3, *SHAPE)).astype(np.float32)
+        with pytest.raises(ValueError, match="model"):
+            Herding().process_segment(buf, images, np.zeros(3, dtype=np.int64),
+                                      np.ones(3, dtype=np.float32), rng=rng)
+
+    def test_fills_buffer_class_balanced(self, rng, model):
+        buf = RawBuffer(4, SHAPE)
+        strategy = Herding()
+        for cls in (0, 1):
+            images = rng.standard_normal((6, *SHAPE)).astype(np.float32)
+            strategy.process_segment(buf, images,
+                                     np.full(6, cls, dtype=np.int64),
+                                     np.ones(6, dtype=np.float32),
+                                     model=model, rng=rng)
+        counts = np.bincount(buf.labels[: len(buf)], minlength=2)
+        assert counts[0] == counts[1] == 2
+
+    def test_capacity_never_exceeded(self, rng, model):
+        buf = RawBuffer(3, SHAPE)
+        strategy = Herding()
+        for _ in range(4):
+            images = rng.standard_normal((5, *SHAPE)).astype(np.float32)
+            labels = rng.integers(0, 2, 5)
+            strategy.process_segment(buf, images, labels,
+                                     np.ones(5, dtype=np.float32),
+                                     model=model, rng=rng)
+        assert len(buf) <= 3
+
+    def test_registered_in_factory(self):
+        assert isinstance(make_strategy("herding"), Herding)
+
+    def test_pool_is_bounded(self, rng, model):
+        strategy = Herding()
+        buf = RawBuffer(4, SHAPE)  # quota = 2 per class
+        for _ in range(20):
+            images = rng.standard_normal((4, *SHAPE)).astype(np.float32)
+            strategy.process_segment(buf, images,
+                                     np.zeros(4, dtype=np.int64),
+                                     np.ones(4, dtype=np.float32),
+                                     model=model, rng=rng)
+        assert len(strategy._pool_x[0]) <= 8  # 4x quota bound

@@ -1,0 +1,53 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.tensor import Tensor
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+def numerical_gradient(f, x: np.ndarray, eps: float = 1e-3) -> np.ndarray:
+    """Central finite-difference gradient of scalar-valued ``f`` w.r.t. ``x``.
+
+    ``f`` takes no arguments and reads ``x`` (which is mutated in place and
+    restored).
+    """
+    grad = np.zeros_like(x, dtype=np.float64)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        original = x[idx]
+        x[idx] = original + eps
+        f_plus = f()
+        x[idx] = original - eps
+        f_minus = f()
+        x[idx] = original
+        grad[idx] = (f_plus - f_minus) / (2.0 * eps)
+        it.iternext()
+    return grad.astype(np.float32)
+
+
+def assert_grad_matches(build_loss, value: np.ndarray, *, atol: float = 1e-2,
+                        rtol: float = 5e-2, eps: float = 1e-3) -> None:
+    """Check autodiff gradient of ``build_loss`` against finite differences.
+
+    ``build_loss(tensor)`` must return a scalar Tensor; it is re-invoked with
+    plain values during numerical differentiation.
+    """
+    leaf = Tensor(value.copy(), requires_grad=True)
+    loss = build_loss(leaf)
+    loss.backward()
+    assert leaf.grad is not None, "no gradient reached the leaf"
+
+    arr = value.copy()
+    numeric = numerical_gradient(lambda: build_loss(Tensor(arr)).item(), arr,
+                                 eps=eps)
+    scale = max(np.abs(numeric).max(), 1.0)
+    np.testing.assert_allclose(leaf.grad, numeric, atol=atol * scale, rtol=rtol)

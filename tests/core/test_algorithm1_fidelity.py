@@ -1,0 +1,107 @@
+"""Control-flow fidelity tests: DECOLearner implements Algorithm 1 exactly.
+
+Uses a recording condenser to verify the order and content of the calls
+the learner makes: label -> vote -> filter -> condense(active only) ->
+periodic model update.
+"""
+
+import numpy as np
+
+from repro.buffer.buffer import SyntheticBuffer
+from repro.condensation.base import CondensationMethod, CondensationStats
+from repro.core.deco import DECOLearner
+from repro.core.learner import LearnerConfig
+from repro.core.pseudo_label import MajorityVotePseudoLabeler
+from repro.data.datasets import DatasetSpec, make_dataset
+from repro.data.stream import make_stream
+from repro.nn.convnet import ConvNet
+
+DS = make_dataset(DatasetSpec(name="fid", num_classes=3, image_size=8,
+                              train_per_class=12, test_per_class=4,
+                              num_groups=3, class_separation=1.0,
+                              noise_std=0.3), seed=0)
+
+
+class RecordingCondenser(CondensationMethod):
+    """Captures every condense() invocation for inspection."""
+
+    name = "recording"
+
+    def __init__(self):
+        self.calls = []
+
+    def condense(self, buffer, active_classes, real_x, real_y, real_w, *,
+                 model_factory, rng, deployed_model=None):
+        self.calls.append({
+            "active": tuple(active_classes),
+            "labels": np.array(real_y),
+            "weights": None if real_w is None else np.array(real_w),
+            "count": len(real_x),
+            "deployed_is_learner_model": deployed_model is not None,
+        })
+        return CondensationStats(iterations=1, forward_backward_passes=0)
+
+
+def build(beta=2, threshold=0.4):
+    model = ConvNet(3, 3, 8, width=8, depth=2, rng=np.random.default_rng(0))
+    buffer = SyntheticBuffer(3, 1, DS.image_shape())
+    buffer.init_from_samples(DS.x_train, DS.y_train, rng=0)
+    recorder = RecordingCondenser()
+    learner = DECOLearner(model, buffer, condenser=recorder,
+                          labeler=MajorityVotePseudoLabeler(threshold),
+                          config=LearnerConfig(beta=beta, train_epochs=1),
+                          rng=np.random.default_rng(0))
+    return learner, recorder
+
+
+class TestAlgorithm1:
+    def test_condense_called_once_per_active_segment(self):
+        learner, recorder = build()
+        stream = make_stream(DS, segment_size=6, stc=12, rng=0)
+        history = learner.run(stream, x_test=DS.x_test, y_test=DS.y_test)
+        active_segments = sum(1 for d in history.diagnostics
+                              if d["active_classes"])
+        assert len(recorder.calls) == active_segments
+        assert recorder.calls  # the correlated stream activates classes
+        assert all(call["active"] for call in recorder.calls)
+
+    def test_condensed_labels_are_only_active_classes(self):
+        learner, recorder = build()
+        stream = make_stream(DS, segment_size=6, stc=12, rng=0)
+        learner.run(stream, x_test=DS.x_test, y_test=DS.y_test)
+        for call in recorder.calls:
+            assert set(np.unique(call["labels"])) <= set(call["active"])
+
+    def test_confidence_weights_passed_through(self):
+        learner, recorder = build()
+        stream = make_stream(DS, segment_size=6, stc=12, rng=0)
+        learner.run(stream, x_test=DS.x_test, y_test=DS.y_test)
+        for call in recorder.calls:
+            assert call["weights"] is not None
+            assert call["weights"].shape == (call["count"],)
+            assert (call["weights"] > 0).all()
+            assert (call["weights"] <= 1).all()
+
+    def test_deployed_model_is_forwarded_for_discrimination(self):
+        learner, recorder = build()
+        stream = make_stream(DS, segment_size=6, stc=12, rng=0)
+        learner.run(stream, x_test=DS.x_test, y_test=DS.y_test)
+        assert all(call["deployed_is_learner_model"]
+                   for call in recorder.calls)
+
+    def test_no_condense_when_nothing_active(self):
+        # Threshold just below 1.0 is unreachable by any class share in a
+        # mixed stream of 3 interleaved classes with stc=1.
+        learner, recorder = build(threshold=0.99)
+        stream = make_stream(DS, segment_size=9, stc=1, rng=0)
+        learner.run(stream, x_test=DS.x_test, y_test=DS.y_test)
+        assert recorder.calls == [] or all(
+            call["active"] for call in recorder.calls)
+
+    def test_segment_count_matches_stream(self):
+        learner, recorder = build(threshold=0.0)
+        stream = make_stream(DS, segment_size=6, stc=12, rng=0)
+        learner.run(stream, x_test=DS.x_test, y_test=DS.y_test)
+        # threshold 0 makes every predicted class active -> one call per
+        # segment.
+        assert len(recorder.calls) == len(stream)

@@ -1,0 +1,194 @@
+"""Unit tests for the on-device learners (DECO, replay baselines, upper bound)."""
+
+import numpy as np
+import pytest
+
+from repro.buffer.buffer import RawBuffer, SyntheticBuffer
+from repro.buffer.selection import make_strategy
+from repro.condensation.one_step import OneStepMatcher
+from repro.core.deco import DECOLearner, condense_offline
+from repro.core.learner import LearnerConfig, LearnerHistory
+from repro.core.pseudo_label import MajorityVotePseudoLabeler
+from repro.core.replay import ReplayLearner, UpperBoundLearner
+from repro.core.training import evaluate_accuracy, train_model
+from repro.data.datasets import DatasetSpec, make_dataset
+from repro.data.stream import make_stream
+from repro.nn.convnet import ConvNet
+
+DS = make_dataset(DatasetSpec(name="toy", num_classes=3, image_size=8,
+                              train_per_class=20, test_per_class=8,
+                              num_groups=3, num_sessions=1,
+                              class_separation=0.8, noise_std=0.5), seed=0)
+CONFIG = LearnerConfig(beta=2, train_epochs=4, lr=1e-2)
+
+
+def pretrained_model(seed=0):
+    model = ConvNet(3, 3, 8, width=8, depth=2, rng=np.random.default_rng(seed))
+    x, y = DS.pretrain_subset(0.3, rng=np.random.default_rng(seed))
+    train_model(model, x, y, epochs=15, lr=1e-2,
+                rng=np.random.default_rng(seed))
+    return model
+
+
+MODEL = pretrained_model()
+
+
+def fresh_model():
+    import copy
+    return copy.deepcopy(MODEL)
+
+
+def stream(seed=0, segment=10):
+    return make_stream(DS, segment_size=segment, stc=10, rng=seed)
+
+
+class TestLearnerConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LearnerConfig(beta=0)
+        with pytest.raises(ValueError):
+            LearnerConfig(train_epochs=0)
+
+    def test_history_final_accuracy_requires_evals(self):
+        with pytest.raises(ValueError):
+            LearnerHistory().final_accuracy
+
+
+class TestDECOLearner:
+    def make_learner(self, **kwargs):
+        buffer = SyntheticBuffer(3, 2, DS.image_shape())
+        learner = DECOLearner(
+            fresh_model(), buffer,
+            condenser=OneStepMatcher(iterations=2, alpha=0.1),
+            labeler=MajorityVotePseudoLabeler(0.4),
+            config=CONFIG, rng=np.random.default_rng(0), **kwargs)
+        condense_offline(buffer, *DS.pretrain_subset(0.3, rng=0),
+                         condenser=learner.condenser,
+                         model_factory=learner.model_factory, rng=0)
+        return learner
+
+    def test_run_produces_final_eval(self):
+        learner = self.make_learner()
+        history = learner.run(stream(), x_test=DS.x_test, y_test=DS.y_test)
+        assert len(history.accuracy) == 1
+        assert 0.0 <= history.final_accuracy <= 1.0
+
+    def test_eval_every_produces_curve(self):
+        learner = self.make_learner()
+        history = learner.run(stream(), x_test=DS.x_test, y_test=DS.y_test,
+                              eval_every=2)
+        n_segments = len(stream())
+        assert len(history.accuracy) == n_segments // 2 + 1
+        assert history.samples_seen == sorted(history.samples_seen)
+
+    def test_eval_every_without_test_data_raises(self):
+        learner = self.make_learner()
+        with pytest.raises(ValueError, match="eval_every"):
+            learner.run(stream(), eval_every=2)
+
+    def test_diagnostics_recorded_per_segment(self):
+        learner = self.make_learner()
+        history = learner.run(stream(), x_test=DS.x_test, y_test=DS.y_test)
+        assert len(history.diagnostics) == len(stream())
+        for diag in history.diagnostics:
+            assert 0.0 <= diag["retained_fraction"] <= 1.0
+            assert 0.0 <= diag["pseudo_label_accuracy"] <= 1.0
+            assert "segment" in diag
+
+    def test_buffer_stays_class_balanced(self):
+        learner = self.make_learner()
+        learner.run(stream(), x_test=DS.x_test, y_test=DS.y_test)
+        x, y = learner.buffer.as_training_set()
+        np.testing.assert_array_equal(np.bincount(y), [2, 2, 2])
+
+    def test_learning_improves_over_pretrained(self):
+        baseline = evaluate_accuracy(MODEL, DS.x_test, DS.y_test)
+        learner = self.make_learner()
+        history = learner.run(stream(), x_test=DS.x_test, y_test=DS.y_test)
+        assert history.final_accuracy >= baseline - 0.1  # no catastrophic drop
+
+    def test_model_factory_reuses_scratch_instance(self):
+        learner = self.make_learner()
+        a = learner.model_factory(np.random.default_rng(0))
+        b = learner.model_factory(np.random.default_rng(1))
+        assert a is b
+        assert a is not learner.model
+
+
+class TestReplayLearner:
+    def make_learner(self, strategy="fifo"):
+        buffer = RawBuffer(6, DS.image_shape())
+        return ReplayLearner(fresh_model(), buffer, make_strategy(strategy),
+                             config=CONFIG, rng=np.random.default_rng(0))
+
+    @pytest.mark.parametrize("strategy", ["random", "fifo", "selective_bp",
+                                          "k_center", "gss_greedy"])
+    def test_all_strategies_run(self, strategy):
+        learner = self.make_learner(strategy)
+        history = learner.run(stream(), x_test=DS.x_test, y_test=DS.y_test)
+        assert 0.0 <= history.final_accuracy <= 1.0
+        assert len(learner.buffer) == learner.buffer.capacity
+
+    def test_diagnostics_include_buffer_fill(self):
+        learner = self.make_learner()
+        history = learner.run(stream(), x_test=DS.x_test, y_test=DS.y_test)
+        assert history.diagnostics[-1]["buffer_fill"] == 1.0
+
+
+class TestUpperBoundLearner:
+    def test_accumulates_entire_stream(self):
+        learner = UpperBoundLearner(fresh_model(), config=CONFIG,
+                                    rng=np.random.default_rng(0))
+        learner.run(stream(), x_test=DS.x_test, y_test=DS.y_test)
+        x, y = learner.training_set()
+        assert len(x) == DS.num_train
+        np.testing.assert_array_equal(np.bincount(y), np.bincount(DS.y_train))
+
+    def test_empty_training_set_before_stream(self):
+        learner = UpperBoundLearner(fresh_model(), config=CONFIG)
+        x, y = learner.training_set()
+        assert len(x) == 0
+
+    def test_outperforms_tiny_buffer_baseline(self):
+        upper = UpperBoundLearner(fresh_model(), config=CONFIG,
+                                  rng=np.random.default_rng(0))
+        upper_acc = upper.run(stream(), x_test=DS.x_test,
+                              y_test=DS.y_test).final_accuracy
+        fifo = ReplayLearner(fresh_model(), RawBuffer(3, DS.image_shape()),
+                             make_strategy("fifo"), config=CONFIG,
+                             rng=np.random.default_rng(0))
+        fifo_acc = fifo.run(stream(), x_test=DS.x_test,
+                            y_test=DS.y_test).final_accuracy
+        assert upper_acc >= fifo_acc
+
+
+class TestCondenseOffline:
+    def test_initializes_from_labeled_data(self):
+        buffer = SyntheticBuffer(3, 2, DS.image_shape())
+        x, y = DS.pretrain_subset(0.5, rng=0)
+        scratch = ConvNet(3, 3, 8, width=8, depth=2,
+                          rng=np.random.default_rng(1))
+
+        def factory(rng):
+            from repro.nn import init
+            init.reinitialize(scratch, rng)
+            return scratch
+
+        condense_offline(buffer, x, y, condenser=OneStepMatcher(iterations=2,
+                                                                alpha=0.0),
+                         model_factory=factory, rounds=2, rng=0)
+        # Buffer rows should correlate with their own class's real data more
+        # than random noise would.
+        assert buffer.images.std() > 0.1
+
+    def test_zero_rounds_only_seeds_samples(self):
+        buffer = SyntheticBuffer(3, 1, DS.image_shape())
+        x, y = DS.pretrain_subset(0.5, rng=0)
+        condense_offline(buffer, x, y,
+                         condenser=OneStepMatcher(iterations=1),
+                         model_factory=lambda r: ConvNet(
+                             3, 3, 8, width=4, depth=2, rng=r),
+                         rounds=0, rng=0)
+        train_rows = {row.tobytes() for row in x}
+        for img in buffer.images:
+            assert img.tobytes() in train_rows

@@ -1,0 +1,95 @@
+"""Unit tests for continual-learning metrics (repro.core.metrics)."""
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import (ForgettingTracker, accuracy_smoothness,
+                                forgetting_score, per_class_accuracy)
+from repro.nn.layers import Module
+from repro.nn.tensor import Tensor
+
+
+class FixedPredictor(Module):
+    """Model stub that predicts a fixed label per sample index."""
+
+    def __init__(self, num_classes, predictions):
+        super().__init__()
+        self.num_classes = num_classes
+        self._predictions = np.asarray(predictions)
+        self._cursor = 0
+
+    def forward(self, x: Tensor) -> Tensor:
+        n = len(x)
+        logits = np.zeros((n, self.num_classes), dtype=np.float32)
+        picks = self._predictions[self._cursor:self._cursor + n]
+        self._cursor += n
+        logits[np.arange(n), picks] = 10.0
+        return Tensor(logits)
+
+
+class TestPerClassAccuracy:
+    def test_perfect_and_zero_classes(self):
+        y = np.array([0, 0, 1, 1])
+        model = FixedPredictor(3, [0, 0, 0, 0])
+        acc = per_class_accuracy(model, np.zeros((4, 2), dtype=np.float32), y, 3)
+        assert acc[0] == 1.0
+        assert acc[1] == 0.0
+        assert np.isnan(acc[2])  # class 2 absent from the test set
+
+    def test_partial_accuracy(self):
+        y = np.array([1, 1, 1, 1])
+        model = FixedPredictor(2, [1, 1, 0, 0])
+        acc = per_class_accuracy(model, np.zeros((4, 2), dtype=np.float32), y, 2)
+        assert acc[1] == pytest.approx(0.5)
+
+
+class TestForgettingScore:
+    def test_no_forgetting(self):
+        history = np.array([[0.2, 0.3], [0.5, 0.6], [0.7, 0.9]])
+        assert forgetting_score(history) == 0.0
+
+    def test_full_forgetting(self):
+        history = np.array([[1.0, 1.0], [0.0, 0.0]])
+        assert forgetting_score(history) == pytest.approx(1.0)
+
+    def test_mixed(self):
+        history = np.array([[0.8, 0.2], [0.4, 0.6]])
+        # Class 0 forgets 0.4; class 1 improves (counted as 0).
+        assert forgetting_score(history) == pytest.approx(0.2)
+
+    def test_nan_classes_ignored(self):
+        history = np.array([[0.8, np.nan], [0.3, np.nan]])
+        assert forgetting_score(history) == pytest.approx(0.5)
+
+    def test_requires_two_snapshots(self):
+        with pytest.raises(ValueError):
+            forgetting_score(np.array([[0.5, 0.5]]))
+
+
+class TestSmoothness:
+    def test_constant_trace_is_smooth(self):
+        assert accuracy_smoothness(np.array([0.5, 0.5, 0.5])) == 0.0
+
+    def test_oscillating_trace_is_rough(self):
+        rough = accuracy_smoothness(np.array([0.2, 0.8, 0.2, 0.8]))
+        gentle = accuracy_smoothness(np.array([0.2, 0.4, 0.6, 0.8]))
+        assert rough > gentle
+
+    def test_short_trace(self):
+        assert accuracy_smoothness(np.array([0.7])) == 0.0
+
+
+class TestForgettingTracker:
+    def test_accumulates_snapshots(self):
+        tracker = ForgettingTracker(num_classes=2)
+        x = np.zeros((4, 2), dtype=np.float32)
+        y = np.array([0, 0, 1, 1])
+        tracker.observe(FixedPredictor(2, [0, 0, 1, 1]), x, y)
+        tracker.observe(FixedPredictor(2, [1, 1, 1, 1]), x, y)
+        assert tracker.history.shape == (2, 2)
+        # Class 0 went from 1.0 to 0.0 -> forgetting 0.5 averaged with 0.
+        assert tracker.forgetting == pytest.approx(0.5)
+
+    def test_empty_tracker_raises(self):
+        with pytest.raises(ValueError):
+            ForgettingTracker(num_classes=2).history

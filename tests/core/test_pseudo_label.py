@@ -1,0 +1,179 @@
+"""Unit tests for majority-voting pseudo-labeling (repro.core.pseudo_label)."""
+
+import numpy as np
+import pytest
+
+from repro.core.pseudo_label import (MajorityVotePseudoLabeler,
+                                     predict_with_confidence)
+from repro.nn.layers import Module
+from repro.nn.tensor import Tensor
+
+
+class StubModel(Module):
+    """Classifier that returns pre-set logits keyed by the input's first value."""
+
+    def __init__(self, num_classes: int, logit_fn):
+        super().__init__()
+        self.num_classes = num_classes
+        self._logit_fn = logit_fn
+
+    def forward(self, x: Tensor) -> Tensor:
+        return Tensor(self._logit_fn(x.data))
+
+
+def constant_class_model(num_classes, cls, confidence_logit=5.0):
+    def fn(x):
+        logits = np.zeros((len(x), num_classes), dtype=np.float32)
+        logits[:, cls] = confidence_logit
+        return logits
+    return StubModel(num_classes, fn)
+
+
+def per_sample_model(num_classes, labels, logit=5.0):
+    labels = np.asarray(labels)
+
+    def fn(x):
+        logits = np.zeros((len(x), num_classes), dtype=np.float32)
+        logits[np.arange(len(x)), labels[: len(x)]] = logit
+        return logits
+    return StubModel(num_classes, fn)
+
+
+def images(n):
+    return np.zeros((n, 1, 4, 4), dtype=np.float32)
+
+
+class TestPredictWithConfidence:
+    def test_labels_and_confidence(self):
+        model = constant_class_model(4, 2, confidence_logit=10.0)
+        labels, confidences = predict_with_confidence(model, images(5))
+        np.testing.assert_array_equal(labels, [2] * 5)
+        assert (confidences > 0.99).all()
+
+    def test_uniform_logits_give_chance_confidence(self):
+        model = constant_class_model(4, 0, confidence_logit=0.0)
+        _, confidences = predict_with_confidence(model, images(3))
+        np.testing.assert_allclose(confidences, 0.25, atol=1e-5)
+
+    def test_batching_consistency(self):
+        labels_fn = np.arange(10) % 3
+        model = per_sample_model(3, labels_fn)
+        labels_small, _ = predict_with_confidence(model, images(10),
+                                                  batch_size=3)
+        labels_big, _ = predict_with_confidence(model, images(10),
+                                                batch_size=100)
+        np.testing.assert_array_equal(labels_small, labels_big)
+
+
+class TestMajorityVoting:
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            MajorityVotePseudoLabeler(-0.1)
+        with pytest.raises(ValueError):
+            MajorityVotePseudoLabeler(1.0)
+
+    def test_single_dominant_class_is_active(self):
+        model = constant_class_model(5, 3)
+        result = MajorityVotePseudoLabeler(0.4).label_segment(model, images(10))
+        assert result.active_classes == (3,)
+        assert result.keep.all()
+        assert result.retained_fraction == 1.0
+
+    def test_minority_labels_filtered(self):
+        # 7 samples of class 0, 3 of class 1 -> only class 0 active at m=0.4.
+        labels = [0] * 7 + [1] * 3
+        model = per_sample_model(3, labels)
+        result = MajorityVotePseudoLabeler(0.4).label_segment(model, images(10))
+        assert result.active_classes == (0,)
+        np.testing.assert_array_equal(result.keep, [True] * 7 + [False] * 3)
+        assert result.retained_fraction == pytest.approx(0.7)
+
+    def test_multiple_active_classes(self):
+        labels = [0] * 5 + [1] * 5
+        model = per_sample_model(3, labels)
+        result = MajorityVotePseudoLabeler(0.4).label_segment(model, images(10))
+        assert result.active_classes == (0, 1)
+        assert result.keep.all()
+
+    def test_threshold_is_strict(self):
+        # Exactly 40% share must NOT pass a 0.4 threshold (Eq. 2 uses >).
+        labels = [0] * 4 + [1] * 6
+        model = per_sample_model(2, labels)
+        result = MajorityVotePseudoLabeler(0.4).label_segment(model, images(10))
+        assert result.active_classes == (1,)
+
+    def test_zero_threshold_keeps_all_predicted_classes(self):
+        labels = [0, 1, 2, 0, 1, 2]
+        model = per_sample_model(3, labels)
+        result = MajorityVotePseudoLabeler(0.0).label_segment(model, images(6))
+        assert result.active_classes == (0, 1, 2)
+        assert result.keep.all()
+
+    def test_high_threshold_can_reject_everything(self):
+        labels = [0] * 5 + [1] * 5
+        model = per_sample_model(2, labels)
+        result = MajorityVotePseudoLabeler(0.8).label_segment(model, images(10))
+        assert result.active_classes == ()
+        assert not result.keep.any()
+        assert result.retained_fraction == 0.0
+
+    def test_empty_segment(self):
+        model = constant_class_model(3, 0)
+        result = MajorityVotePseudoLabeler(0.4).label_segment(model, images(0))
+        assert result.active_classes == ()
+        assert result.labels.size == 0
+        assert result.retained_fraction == 0.0
+
+    def test_confidences_returned_for_all_samples(self):
+        labels = [0] * 6 + [1] * 4
+        model = per_sample_model(2, labels)
+        result = MajorityVotePseudoLabeler(0.4).label_segment(model, images(10))
+        assert result.confidences.shape == (10,)
+        assert (result.confidences > 0.5).all()
+
+
+class TestSlidingWindow:
+    def test_window_size_validation(self):
+        with pytest.raises(ValueError, match="window_size"):
+            MajorityVotePseudoLabeler(0.4, window_size=0)
+
+    def test_window_equal_to_segment_matches_default(self):
+        labels = [0] * 7 + [1] * 3
+        model = per_sample_model(3, labels)
+        default = MajorityVotePseudoLabeler(0.4).label_segment(model,
+                                                               images(10))
+        windowed = MajorityVotePseudoLabeler(0.4, window_size=10) \
+            .label_segment(per_sample_model(3, labels), images(10))
+        assert default.active_classes == windowed.active_classes
+        np.testing.assert_array_equal(default.keep, windowed.keep)
+
+    def test_small_window_resolves_class_transition(self):
+        # Segment straddles a transition: 5 of class 0 then 5 of class 1.
+        # Whole-segment voting at m=0.6 rejects both; per-half windows
+        # recover each class in its own half.
+        labels = [0] * 5 + [1] * 5
+        whole = MajorityVotePseudoLabeler(0.6).label_segment(
+            per_sample_model(2, labels), images(10))
+        assert whole.active_classes == ()
+        halves = MajorityVotePseudoLabeler(0.6, window_size=5).label_segment(
+            per_sample_model(2, labels), images(10))
+        assert halves.active_classes == (0, 1)
+        assert halves.keep.all()
+
+    def test_windows_filter_independently(self):
+        # Window 1: 4x class 0 + 1x class 2 -> only 0 active there.
+        # Window 2: 5x class 1 -> only 1 active there.
+        labels = [0, 0, 0, 0, 2, 1, 1, 1, 1, 1]
+        result = MajorityVotePseudoLabeler(0.4, window_size=5).label_segment(
+            per_sample_model(3, labels), images(10))
+        assert result.active_classes == (0, 1)
+        np.testing.assert_array_equal(
+            result.keep, [True] * 4 + [False] + [True] * 5)
+
+    def test_last_partial_window(self):
+        labels = [0, 0, 0, 0, 0, 0, 1, 1]  # window 5 -> second window is 3
+        result = MajorityVotePseudoLabeler(0.4, window_size=5).label_segment(
+            per_sample_model(2, labels), images(8))
+        # Second window: 1x class 0 (1/3 < 0.4 rejected), 2x class 1 (2/3).
+        np.testing.assert_array_equal(
+            result.keep, [True] * 5 + [False] + [True] * 2)

@@ -1,0 +1,101 @@
+"""Unit tests for training/evaluation loops (repro.core.training)."""
+
+import numpy as np
+import pytest
+
+from repro.core.training import evaluate_accuracy, predict_logits, train_model
+from repro.nn.convnet import ConvNet
+from repro.nn.mlp import MLP
+from repro.nn.tensor import Tensor
+
+
+@pytest.fixture
+def separable(rng):
+    x = rng.standard_normal((24, 1, 8, 8)).astype(np.float32)
+    x[12:] += 2.5
+    y = np.array([0] * 12 + [1] * 12)
+    return x, y
+
+
+class TestTrainModel:
+    def test_empty_dataset_raises(self, rng):
+        model = MLP(4, 2, rng=rng)
+        with pytest.raises(ValueError, match="empty"):
+            train_model(model, np.empty((0, 4)), np.empty(0, dtype=np.int64),
+                        epochs=1)
+
+    def test_loss_decreases(self, rng, separable):
+        x, y = separable
+        model = ConvNet(1, 2, 8, width=4, depth=2, rng=rng)
+        first = train_model(model, x, y, epochs=1, lr=1e-2, rng=rng)
+        last = train_model(model, x, y, epochs=10, lr=1e-2, rng=rng)
+        assert last < first
+
+    def test_reaches_high_train_accuracy(self, rng, separable):
+        x, y = separable
+        model = ConvNet(1, 2, 8, width=8, depth=2, rng=rng)
+        train_model(model, x, y, epochs=30, lr=1e-2, rng=rng)
+        assert evaluate_accuracy(model, x, y) > 0.9
+
+    def test_sample_weights_respected(self, rng):
+        # With all weights zero, training must not move the parameters
+        # (weight decay off).
+        x = rng.standard_normal((8, 4)).astype(np.float32)
+        y = np.zeros(8, dtype=np.int64)
+        model = MLP(4, 2, rng=rng)
+        before = model.state_dict()
+        train_model(model, x, y, epochs=3, lr=0.5, weight_decay=0.0,
+                    weights=np.zeros(8, dtype=np.float32), rng=rng)
+        after = model.state_dict()
+        for key in before:
+            np.testing.assert_allclose(before[key], after[key], atol=1e-6)
+
+    def test_deterministic_given_rng(self, separable):
+        x, y = separable
+        results = []
+        for _ in range(2):
+            model = ConvNet(1, 2, 8, width=4, depth=2,
+                            rng=np.random.default_rng(3))
+            train_model(model, x, y, epochs=3, lr=1e-2,
+                        rng=np.random.default_rng(4))
+            results.append(model.state_dict())
+        for key in results[0]:
+            np.testing.assert_array_equal(results[0][key], results[1][key])
+
+
+class TestEvaluation:
+    def test_predict_logits_shape(self, rng):
+        model = ConvNet(1, 5, 8, width=4, depth=2, rng=rng)
+        x = rng.standard_normal((7, 1, 8, 8)).astype(np.float32)
+        assert predict_logits(model, x).shape == (7, 5)
+
+    def test_predict_logits_batching_consistency(self, rng):
+        model = ConvNet(1, 3, 8, width=4, depth=2, rng=rng)
+        x = rng.standard_normal((10, 1, 8, 8)).astype(np.float32)
+        a = predict_logits(model, x, batch_size=3)
+        b = predict_logits(model, x, batch_size=100)
+        np.testing.assert_allclose(a, b, rtol=1e-5)
+
+    def test_predict_restores_training_mode(self, rng):
+        model = ConvNet(1, 3, 8, width=4, depth=2, rng=rng)
+        model.train()
+        predict_logits(model, np.zeros((1, 1, 8, 8), dtype=np.float32))
+        assert model.training
+
+    def test_evaluate_accuracy_empty_raises(self, rng):
+        model = MLP(4, 2, rng=rng)
+        with pytest.raises(ValueError, match="empty"):
+            evaluate_accuracy(model, np.empty((0, 4)), np.empty(0))
+
+    def test_evaluate_accuracy_range(self, rng):
+        model = ConvNet(1, 2, 8, width=4, depth=2, rng=rng)
+        x = rng.standard_normal((10, 1, 8, 8)).astype(np.float32)
+        y = rng.integers(0, 2, 10)
+        acc = evaluate_accuracy(model, x, y)
+        assert 0.0 <= acc <= 1.0
+
+    def test_predictions_do_not_build_graph(self, rng):
+        model = ConvNet(1, 2, 8, width=4, depth=2, rng=rng)
+        x = np.zeros((2, 1, 8, 8), dtype=np.float32)
+        predict_logits(model, x)
+        assert all(p.grad is None for p in model.parameters())

@@ -1,0 +1,69 @@
+"""Unit tests for the dataset registry (repro.data.registry)."""
+
+import numpy as np
+import pytest
+
+from repro.data.registry import (PROFILES, available_datasets,
+                                 clear_dataset_cache, dataset_spec,
+                                 load_dataset)
+
+
+class TestRegistryLookups:
+    def test_all_paper_datasets_registered(self):
+        names = available_datasets()
+        for expected in ("icub1", "core50", "cifar100", "imagenet10", "cifar10"):
+            assert expected in names
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            dataset_spec("mnist")
+
+    def test_unknown_profile_raises(self):
+        with pytest.raises(KeyError, match="unknown profile"):
+            dataset_spec("core50", "gigantic")
+
+    @pytest.mark.parametrize("name", ["icub1", "core50", "cifar100",
+                                      "imagenet10", "cifar10"])
+    @pytest.mark.parametrize("profile", PROFILES)
+    def test_specs_are_well_formed(self, name, profile):
+        spec = dataset_spec(name, profile)
+        assert spec.name == name
+        assert spec.num_classes >= 2
+        assert spec.image_size % 4 == 0  # supports ConvNet depth 2
+
+    def test_paper_identities(self):
+        # CORe50 has 11 environments at paper scale; CIFAR-100 has 100
+        # classes; ImageNet-10 is the high-resolution dataset.
+        assert dataset_spec("core50", "paper").num_sessions == 11
+        assert dataset_spec("cifar100", "paper").num_classes == 100
+        paper = dataset_spec("imagenet10", "paper")
+        others = dataset_spec("core50", "paper")
+        assert paper.image_size > others.image_size
+
+
+class TestLoadingAndCache:
+    @pytest.mark.parametrize("name", ["icub1", "core50", "cifar100",
+                                      "imagenet10", "cifar10"])
+    def test_micro_datasets_load(self, name):
+        ds = load_dataset(name, "micro", seed=0)
+        assert ds.num_train == ds.num_classes * ds.spec.train_per_class
+        counts = np.bincount(ds.y_train)
+        assert len(set(counts.tolist())) == 1  # balanced
+
+    def test_cache_returns_same_object(self):
+        a = load_dataset("core50", "micro", seed=0)
+        b = load_dataset("core50", "micro", seed=0)
+        assert a is b
+
+    def test_different_seed_is_different_object(self):
+        a = load_dataset("core50", "micro", seed=0)
+        b = load_dataset("core50", "micro", seed=1)
+        assert a is not b
+        assert not np.allclose(a.x_train, b.x_train)
+
+    def test_clear_cache(self):
+        a = load_dataset("core50", "micro", seed=0)
+        clear_dataset_cache()
+        b = load_dataset("core50", "micro", seed=0)
+        assert a is not b
+        np.testing.assert_array_equal(a.x_train, b.x_train)

@@ -1,0 +1,132 @@
+"""Unit tests for non-i.i.d. stream construction (repro.data.stream)."""
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import DatasetSpec, make_dataset
+from repro.data.stream import (Stream, make_stream, make_stream_order,
+                               measure_stc)
+
+DS = make_dataset(DatasetSpec(name="toy", num_classes=4, image_size=8,
+                              train_per_class=20, test_per_class=4,
+                              num_groups=2, num_sessions=2), seed=0)
+
+
+class TestStreamOrder:
+    def test_order_is_a_permutation(self):
+        for kwargs in ({"stc": 5}, {"session_ordered": True}, {}):
+            order = make_stream_order(DS, rng=0, **kwargs)
+            assert sorted(order.tolist()) == list(range(DS.num_train))
+
+    def test_stc_controls_run_length(self):
+        order = make_stream_order(DS, stc=10, rng=0)
+        labels = DS.y_train[order]
+        assert measure_stc(labels) == pytest.approx(10.0, rel=0.35)
+
+    def test_stc_one_gives_near_iid(self):
+        order = make_stream_order(DS, stc=1, rng=0)
+        labels = DS.y_train[order]
+        assert measure_stc(labels) < 2.0
+
+    def test_no_immediate_class_repeat_between_runs(self):
+        order = make_stream_order(DS, stc=5, rng=1)
+        labels = DS.y_train[order]
+        runs = [labels[0]]
+        for lab in labels[1:]:
+            if lab != runs[-1]:
+                runs.append(lab)
+        # consecutive runs belong to different classes by construction
+        assert all(a != b for a, b in zip(runs, runs[1:]))
+
+    def test_session_ordered_groups_by_session(self):
+        order = make_stream_order(DS, session_ordered=True, rng=0)
+        sessions = DS.train_sessions[order]
+        # Sessions appear as contiguous blocks.
+        changes = np.count_nonzero(sessions[1:] != sessions[:-1])
+        assert changes == len(np.unique(sessions)) - 1
+
+    def test_session_ordered_runs_are_single_class(self):
+        order = make_stream_order(DS, session_ordered=True, rng=0)
+        labels = DS.y_train[order]
+        sessions = DS.train_sessions[order]
+        # Within a session, each class forms one contiguous run.
+        for s in np.unique(sessions):
+            in_session = labels[sessions == s]
+            transitions = np.count_nonzero(in_session[1:] != in_session[:-1])
+            assert transitions == len(np.unique(in_session)) - 1
+
+    def test_mutually_exclusive_options(self):
+        with pytest.raises(ValueError, match="not both"):
+            make_stream_order(DS, stc=3, session_ordered=True)
+
+    def test_invalid_stc(self):
+        with pytest.raises(ValueError, match="stc"):
+            make_stream_order(DS, stc=0)
+
+    def test_deterministic_given_rng(self):
+        a = make_stream_order(DS, stc=4, rng=7)
+        b = make_stream_order(DS, stc=4, rng=7)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestMeasureStc:
+    def test_constant_stream(self):
+        assert measure_stc(np.zeros(10, dtype=int)) == 10.0
+
+    def test_alternating_stream(self):
+        assert measure_stc(np.array([0, 1] * 5)) == 1.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            measure_stc(np.array([]))
+
+
+class TestStreamSegments:
+    def test_segment_count(self):
+        stream = make_stream(DS, segment_size=16, stc=5, rng=0)
+        assert len(stream) == int(np.ceil(DS.num_train / 16))
+        assert stream.num_samples == DS.num_train
+
+    def test_each_sample_seen_exactly_once(self):
+        stream = make_stream(DS, segment_size=7, stc=5, rng=0)
+        seen = []
+        for segment in stream:
+            seen.extend(segment.hidden_labels.tolist())
+        assert len(seen) == DS.num_train
+        np.testing.assert_array_equal(np.bincount(np.concatenate(
+            [s.hidden_labels for s in stream])), np.bincount(DS.y_train))
+
+    def test_segment_indices_and_starts(self):
+        stream = make_stream(DS, segment_size=16, stc=5, rng=0)
+        segments = list(stream)
+        assert [s.index for s in segments] == list(range(len(stream)))
+        assert [s.start for s in segments] == [16 * i for i in range(len(stream))]
+
+    def test_last_segment_may_be_partial(self):
+        stream = make_stream(DS, segment_size=32, stc=5, rng=0)
+        sizes = [len(s) for s in stream]
+        assert sizes[:-1] == [32] * (len(sizes) - 1)
+        assert sizes[-1] == DS.num_train - 32 * (len(sizes) - 1)
+
+    def test_images_match_hidden_labels(self):
+        stream = make_stream(DS, segment_size=10, stc=5, rng=0)
+        segment = next(iter(stream))
+        # Hidden labels must correspond to the actual stored samples.
+        for img, label in zip(segment.images, segment.hidden_labels):
+            matches = np.flatnonzero(
+                (DS.x_train == img).all(axis=(1, 2, 3)))
+            assert any(DS.y_train[m] == label for m in matches)
+
+    def test_invalid_segment_size(self):
+        with pytest.raises(ValueError, match="segment_size"):
+            Stream(DS, np.arange(4), 0)
+
+    def test_empty_order_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            Stream(DS, np.array([], dtype=np.int64), 4)
+
+    def test_iterating_twice_yields_same_segments(self):
+        stream = make_stream(DS, segment_size=8, stc=5, rng=3)
+        first = [s.hidden_labels.tolist() for s in stream]
+        second = [s.hidden_labels.tolist() for s in stream]
+        assert first == second

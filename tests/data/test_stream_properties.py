@@ -1,0 +1,65 @@
+"""Property-based tests for stream construction invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.datasets import DatasetSpec, make_dataset
+from repro.data.stream import Stream, make_stream_order, measure_stc
+
+SETTINGS = dict(max_examples=25, deadline=None)
+
+DS = make_dataset(DatasetSpec(name="prop", num_classes=4, image_size=8,
+                              train_per_class=15, test_per_class=4,
+                              num_groups=2, num_sessions=3), seed=0)
+
+
+@settings(**SETTINGS)
+@given(st.integers(0, 10_000), st.integers(1, 30))
+def test_stc_order_is_always_a_permutation(seed, stc):
+    order = make_stream_order(DS, stc=stc, rng=seed)
+    assert sorted(order.tolist()) == list(range(DS.num_train))
+
+
+@settings(**SETTINGS)
+@given(st.integers(0, 10_000))
+def test_session_order_is_always_a_permutation(seed):
+    order = make_stream_order(DS, session_ordered=True, rng=seed)
+    assert sorted(order.tolist()) == list(range(DS.num_train))
+
+
+@settings(**SETTINGS)
+@given(st.integers(0, 10_000), st.integers(2, 15))
+def test_measured_stc_grows_with_requested_stc(seed, stc):
+    short = measure_stc(DS.y_train[make_stream_order(DS, stc=1, rng=seed)])
+    long = measure_stc(DS.y_train[make_stream_order(DS, stc=stc, rng=seed)])
+    assert long >= short - 0.5
+
+
+@settings(**SETTINGS)
+@given(st.integers(0, 10_000), st.integers(1, 25))
+def test_segments_partition_the_stream(seed, segment_size):
+    order = make_stream_order(DS, stc=5, rng=seed)
+    stream = Stream(DS, order, segment_size)
+    total = 0
+    for segment in stream:
+        assert 1 <= len(segment) <= segment_size
+        total += len(segment)
+    assert total == DS.num_train
+
+
+@settings(**SETTINGS)
+@given(st.integers(0, 10_000))
+def test_runs_never_exceed_stc_plus_pool(seed):
+    # A run can only exceed the requested STC when forced (single class
+    # remaining); with 4 equal classes that never happens for small stc.
+    stc = 5
+    labels = DS.y_train[make_stream_order(DS, stc=stc, rng=seed)]
+    run = 1
+    longest = 1
+    for a, b in zip(labels, labels[1:]):
+        run = run + 1 if a == b else 1
+        longest = max(longest, run)
+    # A class directly follows itself only when no other class has samples
+    # left, so a merged run is bounded by that class's whole pool.
+    assert longest <= max(2 * stc, DS.spec.train_per_class)

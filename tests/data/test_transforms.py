@@ -1,0 +1,136 @@
+"""Unit tests for differentiable augmentations (repro.data.transforms)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.transforms import (AugmentationParams, adjust_brightness,
+                                   adjust_contrast, apply_augmentation,
+                                   cutout, flip_horizontal,
+                                   sample_augmentation, scale_intensity,
+                                   translate)
+from repro.nn.tensor import Tensor
+from tests.conftest import assert_grad_matches
+
+
+def batch(rng, n=2, c=1, s=6):
+    return rng.standard_normal((n, c, s, s)).astype(np.float32)
+
+
+class TestIndividualTransforms:
+    def test_flip_reverses_width(self, rng):
+        x = batch(rng)
+        out = flip_horizontal(Tensor(x)).data
+        np.testing.assert_array_equal(out, x[:, :, :, ::-1])
+
+    def test_flip_is_involution(self, rng):
+        x = Tensor(batch(rng))
+        np.testing.assert_array_equal(flip_horizontal(flip_horizontal(x)).data,
+                                      x.data)
+
+    def test_translate_zero_is_identity(self, rng):
+        x = Tensor(batch(rng))
+        assert translate(x, 0, 0) is x
+
+    def test_translate_shifts_content(self):
+        x = np.zeros((1, 1, 4, 4), dtype=np.float32)
+        x[0, 0, 1, 1] = 1.0
+        out = translate(Tensor(x), 1, 1).data
+        # Window moves right/down by (1,1), so content moves up/left.
+        assert out[0, 0, 0, 0] == 1.0
+        assert out.sum() == 1.0
+
+    def test_translate_pads_with_zeros(self, rng):
+        x = Tensor(np.ones((1, 1, 4, 4), dtype=np.float32))
+        out = translate(x, 2, 0).data
+        assert out[0, 0, :, -2:].sum() == 0.0
+
+    def test_translate_preserves_shape(self, rng):
+        x = Tensor(batch(rng, s=8))
+        assert translate(x, -3, 2).shape == x.shape
+
+    def test_brightness(self, rng):
+        x = batch(rng)
+        out = adjust_brightness(Tensor(x), 0.5).data
+        np.testing.assert_allclose(out, x + 0.5, rtol=1e-6)
+
+    def test_contrast_preserves_mean(self, rng):
+        x = batch(rng)
+        out = adjust_contrast(Tensor(x), 2.0).data
+        np.testing.assert_allclose(out.mean(axis=(1, 2, 3)),
+                                   x.mean(axis=(1, 2, 3)), atol=1e-5)
+
+    def test_contrast_scales_deviation(self, rng):
+        x = batch(rng)
+        out = adjust_contrast(Tensor(x), 2.0).data
+        np.testing.assert_allclose(out.std(axis=(1, 2, 3)),
+                                   2.0 * x.std(axis=(1, 2, 3)), rtol=1e-4)
+
+    def test_scale_intensity(self, rng):
+        x = batch(rng)
+        np.testing.assert_allclose(scale_intensity(Tensor(x), 0.5).data,
+                                   0.5 * x, rtol=1e-6)
+
+    def test_cutout_zeroes_patch(self, rng):
+        x = Tensor(np.ones((1, 1, 6, 6), dtype=np.float32))
+        out = cutout(x, 1, 2, 3).data
+        assert out[0, 0, 1:4, 2:5].sum() == 0.0
+        assert out.sum() == 36 - 9
+
+    @pytest.mark.parametrize("transform", [
+        lambda t: flip_horizontal(t),
+        lambda t: translate(t, 1, -1),
+        lambda t: adjust_brightness(t, 0.3),
+        lambda t: adjust_contrast(t, 1.5),
+        lambda t: cutout(t, 1, 1, 2),
+    ])
+    def test_transforms_are_differentiable(self, transform, rng):
+        val = batch(rng)
+        assert_grad_matches(lambda t: (transform(t) ** 2).sum(), val)
+
+
+class TestSampledAugmentation:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_sampled_params_within_bounds(self, seed):
+        params = sample_augmentation(8, np.random.default_rng(seed))
+        assert abs(params.dx) <= 1
+        assert abs(params.dy) <= 1
+        assert -0.3 <= params.brightness <= 0.3
+        assert 0.7 <= params.contrast <= 1.3
+        if params.cutout_size:
+            assert 0 <= params.cutout_top <= 8 - params.cutout_size
+            assert 0 <= params.cutout_left <= 8 - params.cutout_size
+
+    def test_apply_is_deterministic_given_params(self, rng):
+        x = Tensor(batch(rng))
+        params = sample_augmentation(6, np.random.default_rng(1))
+        a = apply_augmentation(x, params).data
+        b = apply_augmentation(x, params).data
+        np.testing.assert_array_equal(a, b)
+
+    def test_siamese_property_same_params_different_batches(self, rng):
+        # The same draw must be applicable to batches of different sizes —
+        # the property DSA relies on.
+        params = sample_augmentation(6, np.random.default_rng(2))
+        small = apply_augmentation(Tensor(batch(rng, n=1)), params)
+        large = apply_augmentation(Tensor(batch(rng, n=5)), params)
+        assert small.shape[0] == 1
+        assert large.shape[0] == 5
+
+    def test_gradient_flows_through_full_pipeline(self, rng):
+        params = AugmentationParams(flip=True, dx=1, dy=-1, brightness=0.1,
+                                    contrast=1.2, cutout_top=0, cutout_left=0,
+                                    cutout_size=2)
+        val = batch(rng)
+        assert_grad_matches(
+            lambda t: (apply_augmentation(t, params) ** 2).sum(), val)
+
+    def test_identity_params_change_nothing(self, rng):
+        params = AugmentationParams(flip=False, dx=0, dy=0, brightness=0.0,
+                                    contrast=1.0, cutout_top=0, cutout_left=0,
+                                    cutout_size=0)
+        x = batch(rng)
+        np.testing.assert_allclose(apply_augmentation(Tensor(x), params).data,
+                                    x, atol=1e-6)

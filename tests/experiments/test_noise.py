@@ -1,0 +1,73 @@
+"""Unit tests for the label-noise robustness experiment (repro.experiments.noise)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.noise import (NoisyPseudoLabeler,
+                                     format_noise_robustness,
+                                     run_noise_robustness)
+from tests.core.test_pseudo_label import images, per_sample_model
+
+GROUPS = np.array([0, 1, 0, 1])  # classes 0/2 and 1/3 are confusable
+
+
+class TestNoisyPseudoLabeler:
+    def test_noise_rate_validation(self):
+        with pytest.raises(ValueError, match="noise_rate"):
+            NoisyPseudoLabeler(0.4, noise_rate=1.5, group_of=GROUPS)
+
+    def test_zero_noise_is_identity(self):
+        labels = [0] * 8 + [1] * 2
+        model = per_sample_model(4, labels)
+        clean = NoisyPseudoLabeler(0.4, noise_rate=0.0, group_of=GROUPS,
+                                   rng=0).label_segment(model, images(10))
+        np.testing.assert_array_equal(clean.labels, labels)
+
+    def test_full_noise_flips_to_confusable_class(self):
+        labels = [0] * 10
+        model = per_sample_model(4, labels)
+        noisy = NoisyPseudoLabeler(0.0, noise_rate=1.0, group_of=GROUPS,
+                                   rng=0).label_segment(model, images(10))
+        # Class 0's only confusable sibling is class 2.
+        assert set(noisy.labels.tolist()) == {2}
+
+    def test_flipped_labels_outside_active_set_are_dropped(self):
+        labels = [0] * 10
+        model = per_sample_model(4, labels)
+        noisy = NoisyPseudoLabeler(0.4, noise_rate=1.0, group_of=GROUPS,
+                                   rng=0).label_segment(model, images(10))
+        # Everything flipped to class 2, which is not active -> all dropped.
+        assert noisy.active_classes == (0,)
+        assert not noisy.keep.any()
+
+    def test_partial_noise_statistics(self):
+        labels = [0] * 1000
+        model = per_sample_model(4, labels)
+        noisy = NoisyPseudoLabeler(0.0, noise_rate=0.3, group_of=GROUPS,
+                                   rng=0).label_segment(model, images(1000))
+        flipped = (noisy.labels != 0).mean()
+        assert flipped == pytest.approx(0.3, abs=0.05)
+
+    def test_deterministic_given_seed(self):
+        labels = [0] * 50
+        results = []
+        for _ in range(2):
+            model = per_sample_model(4, labels)
+            noisy = NoisyPseudoLabeler(0.0, noise_rate=0.5, group_of=GROUPS,
+                                       rng=7).label_segment(model, images(50))
+            results.append(noisy.labels)
+        np.testing.assert_array_equal(results[0], results[1])
+
+
+class TestNoiseRobustnessRunner:
+    def test_micro_sweep_runs_and_formats(self):
+        result = run_noise_robustness(dataset="core50", ipc=1,
+                                      noise_rates=(0.0, 0.5),
+                                      alphas=(0.0, 0.1), profile="micro",
+                                      seed=0)
+        assert set(result.accuracy) == {(0.0, 0.0), (0.0, 0.1),
+                                        (0.5, 0.0), (0.5, 0.1)}
+        assert isinstance(result.discrimination_gain(0.5), float)
+        text = format_noise_robustness(result)
+        assert "noise" in text
+        assert "discrimination gain" in text

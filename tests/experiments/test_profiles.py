@@ -1,0 +1,58 @@
+"""Unit tests for experiment profiles (repro.experiments.profiles)."""
+
+import pytest
+
+from repro.experiments.profiles import (PROFILE_NAMES, get_profile,
+                                        learning_rate, pretrain_fraction,
+                                        stream_settings)
+
+
+class TestProfiles:
+    @pytest.mark.parametrize("name", PROFILE_NAMES)
+    def test_profiles_resolve(self, name):
+        profile = get_profile(name)
+        assert profile.name == name
+        assert profile.model_width > 0
+        assert profile.segment_size > 0
+
+    def test_unknown_profile_raises(self):
+        with pytest.raises(KeyError, match="unknown profile"):
+            get_profile("huge")
+
+    def test_paper_profile_uses_five_seeds(self):
+        assert get_profile("paper").num_seeds == 5
+
+    def test_paper_is_larger_than_smoke(self):
+        paper = get_profile("paper")
+        smoke = get_profile("smoke")
+        assert paper.model_width >= smoke.model_width
+        assert paper.train_epochs >= smoke.train_epochs
+
+
+class TestPerDatasetSettings:
+    def test_learning_rates(self):
+        # ImageNet-10 trains with a lower rate, as in §IV-A3.
+        assert learning_rate("imagenet10") < learning_rate("core50")
+
+    def test_pretrain_fraction_cifar100_largest(self):
+        for profile in PROFILE_NAMES:
+            assert pretrain_fraction("cifar100", profile) >= \
+                pretrain_fraction("core50", profile)
+
+    def test_video_datasets_session_ordered(self):
+        for name in ("icub1", "core50"):
+            settings = stream_settings(name, "smoke")
+            assert settings["session_ordered"] is True
+            assert settings["stc"] is None
+
+    def test_image_datasets_use_stc(self):
+        for name in ("cifar100", "imagenet10"):
+            settings = stream_settings(name, "smoke")
+            assert settings["session_ordered"] is False
+            assert settings["stc"] >= 10
+
+    def test_cifar100_stc_is_one_run_per_class(self):
+        from repro.data.registry import dataset_spec
+        settings = stream_settings("cifar100", "smoke")
+        assert settings["stc"] == dataset_spec("cifar100",
+                                               "smoke").train_per_class

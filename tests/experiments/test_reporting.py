@@ -1,0 +1,50 @@
+"""Unit tests for report formatting (repro.experiments.reporting)."""
+
+import pytest
+
+from repro.experiments.reporting import (format_mean_std, format_series,
+                                         format_table)
+
+
+class TestFormatMeanStd:
+    def test_paper_style(self):
+        assert format_mean_std(0.2984, 0.0026) == "29.84±0.26"
+
+    def test_custom_scale_and_digits(self):
+        assert format_mean_std(1.5, 0.25, scale=1.0, digits=1) == "1.5±0.2"
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        text = format_table(["name", "value"],
+                            [["alpha", "1"], ["b", "22222"]],
+                            title="My Table")
+        lines = text.splitlines()
+        assert lines[0] == "My Table"
+        header, rule, row1, row2 = lines[1:]
+        assert "name" in header and "value" in header
+        assert set(rule) == {"-"}
+        # Columns align: 'value' column starts at the same offset.
+        assert header.index("value") == row1.index("1") or "1" in row1
+
+    def test_no_title(self):
+        text = format_table(["a"], [["x"]])
+        assert text.splitlines()[0].startswith("a")
+
+    def test_rows_preserved_in_order(self):
+        text = format_table(["c"], [["first"], ["second"], ["third"]])
+        body = text.splitlines()[2:]
+        assert [line.strip() for line in body] == ["first", "second", "third"]
+
+
+class TestFormatSeries:
+    def test_pairs_rendered(self):
+        text = format_series("curve", [1, 10], [0.5, 0.75],
+                             x_label="inputs", y_label="acc")
+        assert "curve" in text
+        assert "inputs -> acc" in text
+        assert "0.5000" in text and "0.7500" in text
+
+    def test_length_mismatch_truncates_at_shorter(self):
+        text = format_series("s", [1, 2, 3], [0.1])
+        assert text.count("\n") == 1  # header + one pair

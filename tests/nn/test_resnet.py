@@ -1,0 +1,99 @@
+"""Unit tests for the ResNet backbone (repro.nn.resnet)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import init
+from repro.nn.losses import cross_entropy
+from repro.nn.optim import SGD
+from repro.nn.resnet import ResidualBlock, ResNet
+from repro.nn.tensor import Tensor
+
+
+class TestResidualBlock:
+    def test_preserves_shape_same_channels(self, rng):
+        block = ResidualBlock(4, 4, rng=rng)
+        x = Tensor(rng.standard_normal((2, 4, 6, 6)).astype(np.float32))
+        assert block(x).shape == (2, 4, 6, 6)
+        assert block.projection is None
+
+    def test_projects_on_channel_change(self, rng):
+        block = ResidualBlock(3, 8, rng=rng)
+        assert block.projection is not None
+        x = Tensor(rng.standard_normal((1, 3, 4, 4)).astype(np.float32))
+        assert block(x).shape == (1, 8, 4, 4)
+
+    def test_identity_skip_carries_signal(self, rng):
+        # Zero both conv weights: output = relu(x), the skip path alone.
+        block = ResidualBlock(2, 2, rng=rng)
+        block.conv1.weight.data[:] = 0.0
+        block.conv1.bias.data[:] = 0.0
+        block.conv2.weight.data[:] = 0.0
+        block.conv2.bias.data[:] = 0.0
+        x_val = rng.standard_normal((1, 2, 4, 4)).astype(np.float32)
+        out = block(Tensor(x_val)).data
+        np.testing.assert_allclose(out, np.maximum(x_val, 0.0), atol=1e-6)
+
+    def test_gradient_flows_through_both_paths(self, rng):
+        block = ResidualBlock(2, 2, rng=rng)
+        x = Tensor(rng.standard_normal((1, 2, 4, 4)).astype(np.float32),
+                   requires_grad=True)
+        block(x).sum().backward()
+        assert x.grad is not None
+        assert block.conv1.weight.grad is not None
+
+
+class TestResNet:
+    def test_forward_and_features(self, rng):
+        net = ResNet(3, 5, 8, width=8, depth=2, rng=rng)
+        x = Tensor(rng.standard_normal((3, 3, 8, 8)).astype(np.float32))
+        assert net(x).shape == (3, 5)
+        assert net.features(x).shape == (3, net.feature_dim)
+        assert net.feature_dim == 8 * 2 * 2
+
+    def test_indivisible_image_size_raises(self, rng):
+        with pytest.raises(ValueError, match="divisible"):
+            ResNet(3, 2, 10, depth=2, rng=rng)
+
+    def test_reinitialize_supports_resnet(self, rng):
+        net = ResNet(1, 2, 8, width=4, depth=1, rng=rng)
+        before = net.state_dict()
+        init.reinitialize(net, np.random.default_rng(77))
+        after = net.state_dict()
+        assert any(not np.allclose(before[k], after[k]) for k in before)
+
+    def test_can_overfit_tiny_dataset(self, rng):
+        net = ResNet(1, 2, 8, width=8, depth=1, rng=rng)
+        x = rng.standard_normal((8, 1, 8, 8)).astype(np.float32)
+        x[:4] += 2.0
+        y = np.array([0] * 4 + [1] * 4)
+        opt = SGD(net.parameters(), 0.03, momentum=0.9)
+        for _ in range(60):
+            opt.zero_grad()
+            cross_entropy(net(Tensor(x)), y).backward()
+            opt.step()
+        assert (net(Tensor(x)).data.argmax(axis=1) == y).mean() == 1.0
+
+    def test_works_as_deco_backbone(self, rng):
+        """The full DECO loop runs on a ResNet (architecture-agnostic)."""
+        from repro.buffer.buffer import SyntheticBuffer
+        from repro.condensation.one_step import OneStepMatcher
+        from repro.core.deco import DECOLearner
+        from repro.core.learner import LearnerConfig
+        from repro.data.datasets import DatasetSpec, make_dataset
+        from repro.data.stream import make_stream
+
+        ds = make_dataset(DatasetSpec(name="r", num_classes=3, image_size=8,
+                                      train_per_class=10, test_per_class=4,
+                                      num_groups=3), seed=0)
+        net = ResNet(3, 3, 8, width=4, depth=1, rng=rng)
+        buffer = SyntheticBuffer(3, 1, ds.image_shape())
+        buffer.init_from_samples(ds.x_train, ds.y_train, rng=0)
+        learner = DECOLearner(net, buffer,
+                              condenser=OneStepMatcher(iterations=1,
+                                                       alpha=0.1),
+                              config=LearnerConfig(beta=2, train_epochs=2),
+                              rng=np.random.default_rng(0))
+        stream = make_stream(ds, segment_size=6, stc=5, rng=0)
+        history = learner.run(stream, x_test=ds.x_test, y_test=ds.y_test)
+        assert 0.0 <= history.final_accuracy <= 1.0

@@ -1,0 +1,64 @@
+"""Unit tests for the command-line interface (repro.cli)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_table1_defaults(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.command == "table1"
+        assert args.ipcs == [1, 5, 10, 50]
+        assert args.profile == "smoke"
+
+    def test_profile_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--profile", "gigantic", "fig2"])
+
+    def test_run_subcommand_options(self):
+        args = build_parser().parse_args(
+            ["--profile", "micro", "run", "--method", "fifo",
+             "--dataset", "icub1", "--ipc", "3"])
+        assert args.method == "fifo"
+        assert args.dataset == "icub1"
+        assert args.ipc == 3
+
+
+class TestMain:
+    def test_run_single_method(self, capsys):
+        code = main(["--profile", "micro", "run", "--method", "fifo",
+                     "--dataset", "core50", "--ipc", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fifo on core50" in out
+        assert "accuracy" in out
+
+    def test_output_file_written(self, tmp_path, capsys):
+        target = tmp_path / "report.txt"
+        main(["--profile", "micro", "--output", str(target), "run",
+              "--method", "random", "--dataset", "core50", "--ipc", "1"])
+        assert target.exists()
+        assert "random on core50" in target.read_text()
+
+    def test_table1_micro_subset(self, capsys):
+        code = main(["--profile", "micro", "table1", "--datasets", "core50",
+                     "--ipcs", "1", "--seeds", "0"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "DECO (Ours)" in out
+
+    def test_fig4a_micro(self, capsys):
+        code = main(["--profile", "micro", "fig4a", "--ipc", "1"])
+        assert code == 0
+        assert "threshold" in capsys.readouterr().out
+
+    def test_noise_micro(self, capsys):
+        code = main(["--profile", "micro", "noise", "--ipc", "1",
+                     "--noise-rates", "0.0", "0.5"])
+        assert code == 0
+        assert "noise robustness" in capsys.readouterr().out

@@ -1,0 +1,59 @@
+"""Unit tests for terminal image rendering (repro.utils.ascii_art)."""
+
+import numpy as np
+import pytest
+
+from repro.utils.ascii_art import render_grid, render_image
+
+
+class TestRenderImage:
+    def test_shape_of_output(self):
+        img = np.zeros((3, 4, 6), dtype=np.float32)
+        lines = render_image(img).splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == 6 for line in lines)
+
+    def test_accepts_2d(self):
+        assert len(render_image(np.zeros((2, 3))).splitlines()) == 2
+
+    def test_rejects_wrong_ndim(self):
+        with pytest.raises(ValueError, match="expected"):
+            render_image(np.zeros(5))
+
+    def test_constant_image_renders_uniformly(self):
+        text = render_image(np.full((1, 2, 2), 3.5))
+        assert set(text.replace("\n", "")) == {" "}
+
+    def test_extremes_use_ramp_ends(self):
+        img = np.array([[0.0, 1.0]])
+        text = render_image(img)
+        assert text[0] == " "
+        assert text[1] == "@"
+
+    def test_width_subsampling(self):
+        img = np.zeros((8, 8))
+        lines = render_image(img, width=4).splitlines()
+        assert all(len(line) <= 4 for line in lines)
+
+
+class TestRenderGrid:
+    def test_rejects_non_batch(self):
+        with pytest.raises(ValueError, match="batch"):
+            render_grid(np.zeros((3, 4, 4)))
+
+    def test_rows_wrap_at_columns(self):
+        batch = np.zeros((5, 1, 2, 2), dtype=np.float32)
+        text = render_grid(batch, columns=2)
+        # 3 groups of (2 image rows) separated by blank lines.
+        assert text.count("\n\n") == 2
+
+    def test_labels_header(self):
+        batch = np.zeros((2, 1, 2, 2), dtype=np.float32)
+        text = render_grid(batch, columns=2, labels=np.array([7, 9]))
+        assert "[7]" in text and "[9]" in text
+
+    def test_images_side_by_side(self):
+        batch = np.stack([np.zeros((1, 2, 2)), np.ones((1, 2, 2))]) \
+            .astype(np.float32)
+        first_line = render_grid(batch, columns=2).splitlines()[0]
+        assert len(first_line) == 2 + 2 + 2  # two 2-wide images + separator

@@ -1,0 +1,110 @@
+"""Unit tests for shared utilities (repro.utils)."""
+
+import numpy as np
+import pytest
+
+from repro.utils.batching import iterate_minibatches
+from repro.utils.metrics import (RunningMean, confusion_matrix, mean_and_std,
+                                 relative_improvement)
+from repro.utils.rng import spawn_rngs, to_rng
+from repro.utils.serialization import load_array_dict, save_array_dict
+
+
+class TestRng:
+    def test_to_rng_from_seed(self):
+        a = to_rng(5)
+        b = to_rng(5)
+        assert a.integers(100) == b.integers(100)
+
+    def test_to_rng_passthrough(self):
+        rng = np.random.default_rng(0)
+        assert to_rng(rng) is rng
+
+    def test_to_rng_none(self):
+        assert isinstance(to_rng(None), np.random.Generator)
+
+    def test_spawn_rngs_independent_and_deterministic(self):
+        first = [r.integers(1000) for r in spawn_rngs(7, 3)]
+        second = [r.integers(1000) for r in spawn_rngs(7, 3)]
+        assert first == second
+        assert len(set(first)) > 1
+
+
+class TestMetrics:
+    def test_confusion_matrix_counts(self):
+        m = confusion_matrix(np.array([0, 0, 1, 2]), np.array([0, 1, 1, 0]), 3)
+        expected = np.array([[1, 1, 0], [0, 1, 0], [1, 0, 0]])
+        np.testing.assert_array_equal(m, expected)
+
+    def test_confusion_matrix_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            confusion_matrix(np.array([0]), np.array([0, 1]), 2)
+
+    def test_mean_and_std(self):
+        mean, std = mean_and_std([1.0, 3.0])
+        assert mean == 2.0
+        assert std == 1.0
+
+    def test_mean_and_std_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean_and_std([])
+
+    def test_relative_improvement(self):
+        assert relative_improvement(1.5, 1.0) == pytest.approx(50.0)
+        assert relative_improvement(0.5, 1.0) == pytest.approx(-50.0)
+
+    def test_relative_improvement_zero_baseline(self):
+        assert relative_improvement(1.0, 0.0) == np.inf
+        assert relative_improvement(0.0, 0.0) == 0.0
+
+    def test_running_mean(self):
+        rm = RunningMean()
+        rm.update(1.0)
+        rm.update(3.0)
+        assert rm.mean == 2.0
+
+    def test_running_mean_weighted(self):
+        rm = RunningMean()
+        rm.update(1.0, weight=3.0)
+        rm.update(5.0, weight=1.0)
+        assert rm.mean == 2.0
+
+    def test_running_mean_empty_raises(self):
+        with pytest.raises(ValueError):
+            RunningMean().mean
+
+
+class TestBatching:
+    def test_covers_all_indices_in_order(self):
+        batches = list(iterate_minibatches(10, 4))
+        flat = np.concatenate(batches)
+        np.testing.assert_array_equal(flat, np.arange(10))
+        assert [len(b) for b in batches] == [4, 4, 2]
+
+    def test_shuffled_is_permutation(self):
+        batches = list(iterate_minibatches(10, 3, rng=np.random.default_rng(0)))
+        flat = sorted(np.concatenate(batches).tolist())
+        assert flat == list(range(10))
+
+    def test_drop_last(self):
+        batches = list(iterate_minibatches(10, 4, drop_last=True))
+        assert [len(b) for b in batches] == [4, 4]
+
+    def test_zero_items_yields_nothing(self):
+        assert list(iterate_minibatches(0, 4)) == []
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            list(iterate_minibatches(10, 0))
+
+
+class TestSerialization:
+    def test_roundtrip(self, tmp_path):
+        arrays = {"a": np.arange(6).reshape(2, 3).astype(np.float32),
+                  "b": np.ones(4)}
+        path = tmp_path / "state.npz"
+        save_array_dict(path, arrays)
+        loaded = load_array_dict(path)
+        assert set(loaded) == {"a", "b"}
+        np.testing.assert_array_equal(loaded["a"], arrays["a"])
+        np.testing.assert_array_equal(loaded["b"], arrays["b"])
