@@ -1,0 +1,16 @@
+"""Micro-benchmark regression harness for the numpy kernel layer.
+
+Unlike the paper-level benchmarks in :mod:`benchmarks`, these scripts time
+individual kernels and one full condensation segment against the preserved
+seed implementations (``repro.nn.kernels.reference_mode``), and append
+machine-readable results to ``bench_results/micro_kernels.json`` so future
+PRs have a performance trajectory to regress against.
+
+Run them directly::
+
+    PYTHONPATH=src python benchmarks/micro/bench_kernels.py
+    PYTHONPATH=src python benchmarks/micro/bench_condense_step.py
+
+Both accept ``--repeats N`` (best-of-N timing) and merge their sections
+into the shared JSON file.
+"""

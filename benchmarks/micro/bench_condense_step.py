@@ -1,0 +1,101 @@
+"""End-to-end micro-benchmark: one full ``OneStepMatcher.condense`` segment.
+
+This is the acceptance benchmark for the kernel layer: the paper's
+condensation configuration (ConvNet depth 3, 32x32 inputs, real batch 128,
+10 classes at 10 images per class, feature-discrimination weight 0.1),
+timed with the fast kernels and in :func:`repro.nn.kernels.reference_mode`
+(the preserved seed implementations).  Runs are interleaved and the
+best-of-N time is kept for each mode so scheduler noise cannot inflate the
+reported speedup.  Results are appended to
+``bench_results/micro_kernels.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/micro/bench_condense_step.py [--repeats N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+import numpy as np
+
+from repro.buffer.buffer import SyntheticBuffer
+from repro.condensation.one_step import OneStepMatcher
+from repro.nn import kernels
+from repro.nn.convnet import ConvNet
+
+try:  # package import (pytest) vs direct script execution
+    from .bench_kernels import RESULTS_PATH, merge_results
+except ImportError:  # pragma: no cover - script mode
+    from bench_kernels import RESULTS_PATH, merge_results
+
+CLASSES, IPC, HW, WIDTH, DEPTH, BATCH = 10, 10, 32, 16, 3, 128
+
+
+def run_segment(iterations: int) -> float:
+    """One condense segment; returns its wall time in seconds."""
+    rng = np.random.default_rng(0)
+    buf = SyntheticBuffer(CLASSES, IPC, (3, HW, HW))
+    buf.images[:] = rng.standard_normal(buf.images.shape).astype(np.float32)
+    real_x = rng.standard_normal((2 * BATCH, 3, HW, HW)).astype(np.float32)
+    real_y = rng.integers(0, CLASSES, 2 * BATCH)
+    matcher = OneStepMatcher(iterations=iterations, alpha=0.1,
+                             batch_size=BATCH)
+    factory = lambda r: ConvNet(3, CLASSES, HW, width=WIDTH, depth=DEPTH, rng=r)
+    deployed = ConvNet(3, CLASSES, HW, width=WIDTH, depth=DEPTH,
+                       rng=np.random.default_rng(5))
+    t0 = time.perf_counter()
+    matcher.condense(buf, list(range(CLASSES)), real_x, real_y, None,
+                     model_factory=factory, rng=np.random.default_rng(1),
+                     deployed_model=deployed)
+    return time.perf_counter() - t0
+
+
+def main(argv=None) -> dict:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="best-of-N interleaved repetitions per mode")
+    parser.add_argument("--iterations", type=int, default=2,
+                        help="matcher iterations per timed segment")
+    args = parser.parse_args(argv)
+
+    # Warm up both modes (plan cache, arena, BLAS threads, page faults).
+    kernels.set_fast_kernels(True)
+    run_segment(args.iterations)
+    with kernels.reference_mode():
+        run_segment(args.iterations)
+
+    fast_times, seed_times = [], []
+    for _ in range(args.repeats):
+        kernels.set_fast_kernels(True)
+        fast_times.append(run_segment(args.iterations))
+        with kernels.reference_mode():
+            seed_times.append(run_segment(args.iterations))
+    kernels.set_fast_kernels(True)
+
+    fast, seed = min(fast_times), min(seed_times)
+    payload = {
+        "config": {"classes": CLASSES, "ipc": IPC, "hw": HW, "width": WIDTH,
+                   "depth": DEPTH, "batch": BATCH, "alpha": 0.1,
+                   "iterations": args.iterations},
+        "repeats": args.repeats,
+        "fast_s": fast,
+        "seed_s": seed,
+        "fast_all_s": fast_times,
+        "seed_all_s": seed_times,
+        "speedup": seed / fast,
+    }
+    merge_results("condense_step", payload)
+    print(f"condense segment (ConvNet depth {DEPTH}, {HW}x{HW}, "
+          f"batch {BATCH}, {args.iterations} iters):")
+    print(f"  fast kernels : {fast:.3f} s")
+    print(f"  seed kernels : {seed:.3f} s")
+    print(f"  speedup      : {seed / fast:.2f}x")
+    print(f"[saved to {RESULTS_PATH}]")
+    return payload
+
+
+if __name__ == "__main__":
+    main()

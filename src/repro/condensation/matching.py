@@ -14,12 +14,14 @@ Implements the building blocks of §III-C:
 
 from __future__ import annotations
 
+import contextlib
 from typing import Sequence
 
 import numpy as np
 
 from ..data.transforms import AugmentationParams, apply_augmentation
-from ..nn.layers import Module
+from ..nn import kernels
+from ..nn.layers import Module, frozen_parameters
 from ..nn.losses import cross_entropy, gradient_distance
 from ..nn.tensor import Tensor
 
@@ -57,7 +59,9 @@ def parameter_gradients(model: Module, x: np.ndarray, y: np.ndarray,
     loss = _forward_loss(model, Tensor(np.asarray(x, dtype=np.float32)), y, w,
                          augmentation)
     loss.backward()
-    grads = [np.zeros_like(p.data) if p.grad is None else p.grad.copy()
+    # zero_grad() below drops the model's references to the gradient arrays,
+    # so returning them directly (no .copy()) is safe.
+    grads = [np.zeros_like(p.data) if p.grad is None else p.grad
              for p in model.parameters()]
     model.zero_grad()
     return grads, loss.item()
@@ -66,11 +70,19 @@ def parameter_gradients(model: Module, x: np.ndarray, y: np.ndarray,
 def input_gradient(model: Module, x: np.ndarray, y: np.ndarray,
                    w: np.ndarray | None = None, *,
                    augmentation: AugmentationParams | None = None) -> np.ndarray:
-    """Gradient of the CE loss w.r.t. the input pixels at fixed parameters."""
+    """Gradient of the CE loss w.r.t. the input pixels at fixed parameters.
+
+    Under the fast kernels the model parameters are temporarily frozen so
+    the backward pass skips every parameter-gradient reduction — the FD
+    passes of Eq. (7) only consume ``grad_X``.
+    """
     x_tensor = Tensor(np.asarray(x, dtype=np.float32), requires_grad=True)
     model.zero_grad()
-    loss = _forward_loss(model, x_tensor, y, w, augmentation)
-    loss.backward()
+    freeze = (frozen_parameters(model) if kernels.fast_kernels_enabled()
+              else contextlib.nullcontext())
+    with freeze:
+        loss = _forward_loss(model, x_tensor, y, w, augmentation)
+        loss.backward()
     model.zero_grad()
     if x_tensor.grad is None:  # pragma: no cover - defensive
         return np.zeros_like(x_tensor.data)

@@ -11,12 +11,14 @@ encoder — is added with weight ``alpha`` (Eq. 9).
 
 from __future__ import annotations
 
+import contextlib
 from typing import Sequence
 
 import numpy as np
 
 from ..buffer.buffer import SyntheticBuffer
-from ..nn.layers import Module
+from ..nn import kernels
+from ..nn.layers import Module, frozen_parameters
 from ..nn.losses import feature_discrimination_loss
 from ..nn.optim import SGD
 from ..nn.tensor import Tensor
@@ -114,13 +116,19 @@ class OneStepMatcher(CondensationMethod):
 
         sub_tensor = Tensor(buffer.images[rows], requires_grad=True)
         deployed_model.zero_grad()
-        feats = deployed_model.features(sub_tensor)
-        loss = feature_discrimination_loss(
-            feats, buffer.labels[rows], local_active, rng,
-            temperature=self.tau, negative_classes=negatives)
-        if not loss.requires_grad:  # no usable positive/negative pairs
-            return zero
-        loss.backward()
+        # Only the gradient w.r.t. the buffer pixels is consumed, so the
+        # deployed encoder's parameter gradients are pure waste — freeze
+        # them for the duration of the pass under the fast kernels.
+        freeze = (frozen_parameters(deployed_model)
+                  if kernels.fast_kernels_enabled() else contextlib.nullcontext())
+        with freeze:
+            feats = deployed_model.features(sub_tensor)
+            loss = feature_discrimination_loss(
+                feats, buffer.labels[rows], local_active, rng,
+                temperature=self.tau, negative_classes=negatives)
+            if not loss.requires_grad:  # no usable positive/negative pairs
+                return zero
+            loss.backward()
         deployed_model.zero_grad()
         grad = (np.zeros_like(sub_tensor.data) if sub_tensor.grad is None
                 else sub_tensor.grad)
@@ -173,7 +181,7 @@ class OneStepMatcher(CondensationMethod):
                 stats.forward_backward_passes += 1
                 stats.extra["discrimination_loss"] = disc_loss
 
-            syn_pixels.grad = total_grad.astype(np.float32)
+            syn_pixels.grad = np.asarray(total_grad, dtype=np.float32)
             optimizer.step()
             optimizer.zero_grad()
 

@@ -6,11 +6,12 @@ with respect to parameters *and* inputs, a ConvNet backbone with an exposed
 encoder, SGD/Adam optimizers, and the paper's loss functions.
 """
 
-from . import functional, init
+from . import functional, init, kernels, reference, workspace
 from .convnet import ConvNet
 from .layers import (AvgPool2d, BatchNorm2d, Conv2d, Flatten, GroupNorm2d,
                      Identity, InstanceNorm2d, LeakyReLU, Linear, MaxPool2d,
-                     Module, ReLU, Sequential, Sigmoid, Tanh)
+                     Module, ReLU, Sequential, Sigmoid, Tanh,
+                     frozen_parameters)
 from .losses import (accuracy, cross_entropy, feature_discrimination_loss,
                      gradient_distance, mse_loss)
 from .mlp import MLP
@@ -20,7 +21,7 @@ from .tensor import Tensor, concatenate, is_grad_enabled, no_grad, stack, tensor
 
 __all__ = [
     "Tensor", "tensor", "no_grad", "is_grad_enabled", "concatenate", "stack", "where",
-    "functional", "init",
+    "functional", "init", "kernels", "reference", "workspace", "frozen_parameters",
     "Module", "Sequential", "Linear", "Conv2d", "InstanceNorm2d", "GroupNorm2d",
     "BatchNorm2d", "ReLU", "LeakyReLU", "Tanh", "Sigmoid", "AvgPool2d", "MaxPool2d",
     "Flatten", "Identity",

@@ -1,16 +1,26 @@
 """Neural-network functional operations built on the autodiff engine.
 
 Contains the structured operations (convolution, pooling, normalization,
-softmax-family) that the :mod:`repro.nn.layers` modules wrap.  Convolution
-uses an im2col formulation with numpy stride tricks; normalization layers use
-fused hand-derived backward passes for speed.
+softmax-family) that the :mod:`repro.nn.layers` modules wrap.
+
+The hot paths run on the kernel layer in :mod:`repro.nn.kernels`:
+convolution fetches a cached :class:`~repro.nn.kernels.ConvPlan` (im2col
+geometry, col2im scatter tables, einsum contraction paths) and serves its
+column scratch from the :mod:`repro.nn.workspace` arena; every op skips
+redundant ``astype(float32)`` copies and skips gradient work for parents
+with ``requires_grad=False``.  Under
+:func:`repro.nn.kernels.reference_mode` the ops dispatch to the frozen seed
+implementations in :mod:`repro.nn.reference` instead (used by the
+kernel-equivalence tests and the micro-benchmarks).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from . import kernels, reference
 from .tensor import Tensor
+from .workspace import default_arena
 
 __all__ = [
     "conv2d",
@@ -29,40 +39,14 @@ __all__ = [
 ]
 
 
+def _f32(a: np.ndarray) -> np.ndarray:
+    """Cast to float32 only when needed (avoids astype's unconditional copy)."""
+    return a if a.dtype == np.float32 else a.astype(np.float32)
+
+
 # ----------------------------------------------------------------------
-# im2col helpers
+# Convolution
 # ----------------------------------------------------------------------
-def _im2col(x: np.ndarray, kh: int, kw: int, stride: int, pad: int) -> np.ndarray:
-    """Expand NCHW ``x`` into (N, C*kh*kw, L) patch columns."""
-    if pad:
-        x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
-    n, c, h, w = x.shape
-    oh = (h - kh) // stride + 1
-    ow = (w - kw) // stride + 1
-    s0, s1, s2, s3 = x.strides
-    shape = (n, c, kh, kw, oh, ow)
-    strides = (s0, s1, s2, s3, s2 * stride, s3 * stride)
-    cols = np.lib.stride_tricks.as_strided(x, shape=shape, strides=strides)
-    return np.ascontiguousarray(cols).reshape(n, c * kh * kw, oh * ow)
-
-
-def _col2im(dcols: np.ndarray, x_shape: tuple[int, ...], kh: int, kw: int,
-            stride: int, pad: int) -> np.ndarray:
-    """Scatter-add (N, C*kh*kw, L) patch gradients back to NCHW."""
-    n, c, h, w = x_shape
-    hp, wp = h + 2 * pad, w + 2 * pad
-    oh = (hp - kh) // stride + 1
-    ow = (wp - kw) // stride + 1
-    dcols = dcols.reshape(n, c, kh, kw, oh, ow)
-    dx = np.zeros((n, c, hp, wp), dtype=dcols.dtype)
-    for i in range(kh):
-        for j in range(kw):
-            dx[:, :, i:i + stride * oh:stride, j:j + stride * ow:stride] += dcols[:, :, i, j]
-    if pad:
-        dx = dx[:, :, pad:-pad, pad:-pad]
-    return dx
-
-
 def conv2d(x: Tensor, weight: Tensor, bias: Tensor | None = None, *,
            stride: int = 1, padding: int = 0) -> Tensor:
     """2D convolution.
@@ -80,66 +64,104 @@ def conv2d(x: Tensor, weight: Tensor, bias: Tensor | None = None, *,
     oc, ic, kh, kw = weight.shape
     if ic != c:
         raise ValueError(f"conv2d channel mismatch: input has {c}, kernel expects {ic}")
-    oh = (h + 2 * padding - kh) // stride + 1
-    ow = (w + 2 * padding - kw) // stride + 1
+    if not kernels.fast_kernels_enabled():
+        return reference.conv2d(x, weight, bias, stride=stride, padding=padding)
 
-    cols = _im2col(x.data, kh, kw, stride, padding)  # (N, CKK, L)
-    w2 = weight.data.reshape(oc, -1)  # (OC, CKK)
-    out = np.einsum("ok,nkl->nol", w2, cols, optimize=True)
-    out = out.reshape(n, oc, oh, ow)
+    plan = kernels.get_conv_plan(n, c, h, w, kh, kw, stride, padding)
+    cols6 = kernels.im2col(_f32(x.data), plan,       # arena buffer (N,C,KH,KW,OH,OW)
+                           ckk=plan.ckk_safe(oc))
+    cols = cols6.reshape(plan.cols_shape)            # (N, CKK, L) view
+    w2 = weight.data.reshape(oc, -1)                 # (OC, CKK)
+    # Seed-exact contraction (including output memory layout — downstream
+    # float32 reductions are layout-sensitive); only the path search is cached.
+    out = np.einsum("ok,nkl->nol", w2, cols, optimize=plan.fwd_path(w2, cols))
+    out = out.reshape(n, oc, plan.oh, plan.ow)
     if bias is not None:
-        out = out + bias.data.reshape(1, oc, 1, 1)
+        # In-place on the (freshly owned) contraction output: same values,
+        # same memory layout as the seed's fresh add, one big alloc fewer.
+        out += bias.data.reshape(1, oc, 1, 1)
 
     parents = (x, weight) if bias is None else (x, weight, bias)
 
     def backward(g: np.ndarray) -> None:
-        gflat = g.reshape(n, oc, oh * ow)
+        gflat = g.reshape(n, oc, plan.oh * plan.ow)
         if bias is not None and bias.requires_grad:
-            bias._accumulate(gflat.sum(axis=(0, 2)))
+            bias._accumulate(gflat.sum(axis=(0, 2)), own=True)
         if weight.requires_grad:
-            dw = np.einsum("nol,nkl->ok", gflat, cols, optimize=True)
-            weight._accumulate(dw.reshape(weight.shape))
+            dw = np.einsum("nol,nkl->ok", gflat, cols,
+                           optimize=plan.dw_path(gflat, cols))
+            weight._accumulate(_f32(dw).reshape(weight.shape), own=True)
         if x.requires_grad:
-            dcols = np.einsum("ok,nol->nkl", w2, gflat, optimize=True)
-            x._accumulate(_col2im(dcols, x.shape, kh, kw, stride, padding))
+            dcols = np.einsum("ok,nol->nkl", w2, gflat,
+                              optimize=plan.dcols_path(w2, gflat))
+            x._accumulate(kernels.col2im(dcols, plan), own=True)
+        default_arena.release(cols6)
 
-    return Tensor._make(out.astype(np.float32), parents, "conv2d", backward)
+    out_t = Tensor._make(_f32(out), parents, "conv2d", backward)
+    if not out_t.requires_grad:
+        default_arena.release(cols6)
+    return out_t
 
 
+# ----------------------------------------------------------------------
+# Pooling
+# ----------------------------------------------------------------------
 def avg_pool2d(x: Tensor, kernel_size: int = 2) -> Tensor:
     """Non-overlapping average pooling; spatial dims must divide evenly."""
+    if not kernels.fast_kernels_enabled():
+        return reference.avg_pool2d(x, kernel_size)
     k = int(kernel_size)
     n, c, h, w = x.shape
     if h % k or w % k:
         raise ValueError(f"avg_pool2d: spatial dims ({h},{w}) not divisible by {k}")
     oh, ow = h // k, w // k
-    reshaped = x.data.reshape(n, c, oh, k, ow, k)
-    out = reshaped.mean(axis=(3, 5))
+    out = x.data.reshape(n, c, oh, k, ow, k).mean(axis=(3, 5))
 
     def backward(g: np.ndarray) -> None:
-        grad = np.repeat(np.repeat(g, k, axis=2), k, axis=3) / (k * k)
-        x._accumulate(grad.astype(np.float32))
+        if x.requires_grad:
+            scaled = g * np.float32(1.0 / (k * k))
+            grad = np.broadcast_to(scaled[:, :, :, None, :, None],
+                                   (n, c, oh, k, ow, k)).reshape(n, c, h, w)
+            x._accumulate(_f32(grad), own=True)
 
-    return Tensor._make(out.astype(np.float32), (x,), "avg_pool2d", backward)
+    return Tensor._make(_f32(out), (x,), "avg_pool2d", backward)
 
 
 def max_pool2d(x: Tensor, kernel_size: int = 2) -> Tensor:
-    """Non-overlapping max pooling; spatial dims must divide evenly."""
+    """Non-overlapping max pooling; spatial dims must divide evenly.
+
+    Retains only compact per-window argmax indices for the backward pass
+    (the seed implementation kept a full-resolution boolean mask plus tie
+    counts alive for the lifetime of the graph).  Ties route their entire
+    gradient to the first maximal element, like torch; the seed's
+    split-among-ties behaviour lives on in :func:`repro.nn.reference.max_pool2d`.
+    """
+    if not kernels.fast_kernels_enabled():
+        return reference.max_pool2d(x, kernel_size)
     k = int(kernel_size)
     n, c, h, w = x.shape
     if h % k or w % k:
         raise ValueError(f"max_pool2d: spatial dims ({h},{w}) not divisible by {k}")
     oh, ow = h // k, w // k
-    windows = x.data.reshape(n, c, oh, k, ow, k)
-    out = windows.max(axis=(3, 5))
-    mask = windows == out[:, :, :, None, :, None]
-    counts = mask.sum(axis=(3, 5), keepdims=True)
+    windows = np.ascontiguousarray(
+        x.data.reshape(n, c, oh, k, ow, k).transpose(0, 1, 2, 4, 3, 5)
+    ).reshape(n, c, oh, ow, k * k)
+    idx = windows.argmax(axis=-1)
+    out = np.take_along_axis(windows, idx[..., None], axis=-1)[..., 0]
+    # Compact retention: one small integer per output pixel.
+    idx = idx.astype(np.uint8 if k * k <= 255 else np.int32)
 
     def backward(g: np.ndarray) -> None:
-        grad = (mask / counts) * g[:, :, :, None, :, None]
-        x._accumulate(grad.reshape(x.shape).astype(np.float32))
+        if x.requires_grad:
+            buf = np.zeros((n, c, oh, ow, k * k), dtype=np.float32)
+            np.put_along_axis(buf, idx[..., None].astype(np.int64),
+                              _f32(np.asarray(g))[..., None], axis=-1)
+            grad = np.ascontiguousarray(
+                buf.reshape(n, c, oh, ow, k, k).transpose(0, 1, 2, 4, 3, 5)
+            ).reshape(n, c, h, w)
+            x._accumulate(grad, own=True)
 
-    return Tensor._make(out.astype(np.float32), (x,), "max_pool2d", backward)
+    return Tensor._make(_f32(out), (x,), "max_pool2d", backward)
 
 
 def global_avg_pool2d(x: Tensor) -> Tensor:
@@ -151,13 +173,29 @@ def global_avg_pool2d(x: Tensor) -> Tensor:
 # Normalization (fused forward/backward for speed)
 # ----------------------------------------------------------------------
 def _norm_backward(g, xhat, inv_std, axes):
-    """Gradient of y = xhat for normalization over ``axes``."""
+    """Gradient of y = xhat for normalization over ``axes``.
+
+    In-place formulation of the seed's fused expression; returns a fresh
+    array the caller may take ownership of.
+    """
     m = 1
     for a in axes:
         m *= xhat.shape[a]
     sum_g = g.sum(axis=axes, keepdims=True)
     sum_gx = (g * xhat).sum(axis=axes, keepdims=True)
-    return (inv_std / m) * (m * g - sum_g - xhat * sum_gx)
+    t = m * g
+    t -= sum_g
+    t -= xhat * sum_gx
+    t *= inv_std * np.float32(1.0 / m)
+    return t
+
+
+def _norm_stats(x2d: np.ndarray, axes):
+    """Mean/inv-std/xhat over ``axes`` with one fewer temporary than np.var."""
+    mean = x2d.mean(axis=axes, keepdims=True)
+    xc = x2d - mean
+    var = np.mean(xc * xc, axis=axes, keepdims=True)
+    return xc, var
 
 
 def instance_norm2d(x: Tensor, gamma: Tensor | None = None,
@@ -167,17 +205,23 @@ def instance_norm2d(x: Tensor, gamma: Tensor | None = None,
     This is the normalization used by the ConvNet backbone in the dataset
     condensation literature (DC/DSA/DM) and hence in DECO.
     """
+    if not kernels.fast_kernels_enabled():
+        return reference.instance_norm2d(x, gamma, beta, eps=eps)
     axes = (2, 3)
-    mean = x.data.mean(axis=axes, keepdims=True)
-    var = x.data.var(axis=axes, keepdims=True)
-    inv_std = 1.0 / np.sqrt(var + eps)
-    xhat = (x.data - mean) * inv_std
-    out = xhat
+    xhat, var = _norm_stats(_f32(x.data), axes)
+    inv_std = 1.0 / np.sqrt(var + np.float32(eps))
+    xhat *= inv_std
     c = x.shape[1]
-    if gamma is not None:
-        out = out * gamma.data.reshape(1, c, 1, 1)
-    if beta is not None:
-        out = out + beta.data.reshape(1, c, 1, 1)
+    gamma_r = gamma.data.reshape(1, c, 1, 1) if gamma is not None else None
+    beta_r = beta.data.reshape(1, c, 1, 1) if beta is not None else None
+    if gamma_r is not None:
+        out = xhat * gamma_r
+        if beta_r is not None:
+            out += beta_r
+    elif beta_r is not None:
+        out = xhat + beta_r
+    else:
+        out = xhat
 
     parents = [x]
     if gamma is not None:
@@ -187,33 +231,40 @@ def instance_norm2d(x: Tensor, gamma: Tensor | None = None,
 
     def backward(g: np.ndarray) -> None:
         if beta is not None and beta.requires_grad:
-            beta._accumulate(g.sum(axis=(0, 2, 3)))
+            beta._accumulate(_f32(g.sum(axis=(0, 2, 3))), own=True)
         if gamma is not None and gamma.requires_grad:
-            gamma._accumulate((g * xhat).sum(axis=(0, 2, 3)))
+            gamma._accumulate(_f32((g * xhat).sum(axis=(0, 2, 3))), own=True)
         if x.requires_grad:
-            gy = g * gamma.data.reshape(1, c, 1, 1) if gamma is not None else g
-            x._accumulate(_norm_backward(gy, xhat, inv_std, axes).astype(np.float32))
+            gy = g * gamma_r if gamma_r is not None else g
+            x._accumulate(_f32(_norm_backward(gy, xhat, inv_std, axes)), own=True)
 
-    return Tensor._make(out.astype(np.float32), parents, "instance_norm2d", backward)
+    return Tensor._make(_f32(out), parents, "instance_norm2d", backward)
 
 
 def group_norm2d(x: Tensor, num_groups: int, gamma: Tensor | None = None,
                  beta: Tensor | None = None, eps: float = 1e-5) -> Tensor:
     """Group normalization over (C/G, H, W) within each of ``num_groups``."""
+    if not kernels.fast_kernels_enabled():
+        return reference.group_norm2d(x, num_groups, gamma, beta, eps=eps)
     n, c, h, w = x.shape
     if c % num_groups:
         raise ValueError(f"group_norm2d: {c} channels not divisible by {num_groups} groups")
-    xg = x.data.reshape(n, num_groups, c // num_groups, h, w)
+    xg = _f32(x.data).reshape(n, num_groups, c // num_groups, h, w)
     axes = (2, 3, 4)
-    mean = xg.mean(axis=axes, keepdims=True)
-    var = xg.var(axis=axes, keepdims=True)
-    inv_std = 1.0 / np.sqrt(var + eps)
-    xhat = ((xg - mean) * inv_std).reshape(n, c, h, w)
-    out = xhat
-    if gamma is not None:
-        out = out * gamma.data.reshape(1, c, 1, 1)
-    if beta is not None:
-        out = out + beta.data.reshape(1, c, 1, 1)
+    xhat_g, var = _norm_stats(xg, axes)
+    inv_std = 1.0 / np.sqrt(var + np.float32(eps))
+    xhat_g *= inv_std
+    xhat = xhat_g.reshape(n, c, h, w)
+    gamma_r = gamma.data.reshape(1, c, 1, 1) if gamma is not None else None
+    beta_r = beta.data.reshape(1, c, 1, 1) if beta is not None else None
+    if gamma_r is not None:
+        out = xhat * gamma_r
+        if beta_r is not None:
+            out += beta_r
+    elif beta_r is not None:
+        out = xhat + beta_r
+    else:
+        out = xhat
 
     parents = [x]
     if gamma is not None:
@@ -223,33 +274,38 @@ def group_norm2d(x: Tensor, num_groups: int, gamma: Tensor | None = None,
 
     def backward(g: np.ndarray) -> None:
         if beta is not None and beta.requires_grad:
-            beta._accumulate(g.sum(axis=(0, 2, 3)))
+            beta._accumulate(_f32(g.sum(axis=(0, 2, 3))), own=True)
         if gamma is not None and gamma.requires_grad:
-            gamma._accumulate((g * xhat).sum(axis=(0, 2, 3)))
+            gamma._accumulate(_f32((g * xhat).sum(axis=(0, 2, 3))), own=True)
         if x.requires_grad:
-            gy = g * gamma.data.reshape(1, c, 1, 1) if gamma is not None else g
+            gy = g * gamma_r if gamma_r is not None else g
             gyg = gy.reshape(n, num_groups, c // num_groups, h, w)
-            xhatg = xhat.reshape(n, num_groups, c // num_groups, h, w)
-            dx = _norm_backward(gyg, xhatg, inv_std, axes)
-            x._accumulate(dx.reshape(x.shape).astype(np.float32))
+            dx = _norm_backward(gyg, xhat_g, inv_std, axes)
+            x._accumulate(_f32(dx).reshape(x.shape), own=True)
 
-    return Tensor._make(out.astype(np.float32), parents, "group_norm2d", backward)
+    return Tensor._make(_f32(out), parents, "group_norm2d", backward)
 
 
 def batch_norm2d(x: Tensor, gamma: Tensor | None = None,
                  beta: Tensor | None = None, eps: float = 1e-5) -> Tensor:
     """Training-mode batch normalization over (N, H, W) per channel."""
+    if not kernels.fast_kernels_enabled():
+        return reference.batch_norm2d(x, gamma, beta, eps=eps)
     axes = (0, 2, 3)
-    mean = x.data.mean(axis=axes, keepdims=True)
-    var = x.data.var(axis=axes, keepdims=True)
-    inv_std = 1.0 / np.sqrt(var + eps)
-    xhat = (x.data - mean) * inv_std
+    xhat, var = _norm_stats(_f32(x.data), axes)
+    inv_std = 1.0 / np.sqrt(var + np.float32(eps))
+    xhat *= inv_std
     c = x.shape[1]
-    out = xhat
-    if gamma is not None:
-        out = out * gamma.data.reshape(1, c, 1, 1)
-    if beta is not None:
-        out = out + beta.data.reshape(1, c, 1, 1)
+    gamma_r = gamma.data.reshape(1, c, 1, 1) if gamma is not None else None
+    beta_r = beta.data.reshape(1, c, 1, 1) if beta is not None else None
+    if gamma_r is not None:
+        out = xhat * gamma_r
+        if beta_r is not None:
+            out += beta_r
+    elif beta_r is not None:
+        out = xhat + beta_r
+    else:
+        out = xhat
 
     parents = [x]
     if gamma is not None:
@@ -259,14 +315,14 @@ def batch_norm2d(x: Tensor, gamma: Tensor | None = None,
 
     def backward(g: np.ndarray) -> None:
         if beta is not None and beta.requires_grad:
-            beta._accumulate(g.sum(axis=(0, 2, 3)))
+            beta._accumulate(_f32(g.sum(axis=(0, 2, 3))), own=True)
         if gamma is not None and gamma.requires_grad:
-            gamma._accumulate((g * xhat).sum(axis=(0, 2, 3)))
+            gamma._accumulate(_f32((g * xhat).sum(axis=(0, 2, 3))), own=True)
         if x.requires_grad:
-            gy = g * gamma.data.reshape(1, c, 1, 1) if gamma is not None else g
-            x._accumulate(_norm_backward(gy, xhat, inv_std, axes).astype(np.float32))
+            gy = g * gamma_r if gamma_r is not None else g
+            x._accumulate(_f32(_norm_backward(gy, xhat, inv_std, axes)), own=True)
 
-    return Tensor._make(out.astype(np.float32), parents, "batch_norm2d", backward)
+    return Tensor._make(_f32(out), parents, "batch_norm2d", backward)
 
 
 # ----------------------------------------------------------------------
@@ -274,28 +330,37 @@ def batch_norm2d(x: Tensor, gamma: Tensor | None = None,
 # ----------------------------------------------------------------------
 def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
     """Numerically stable log-softmax with a fused backward pass."""
-    shifted = x.data - x.data.max(axis=axis, keepdims=True)
-    logsumexp = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
-    out = shifted - logsumexp
+    if not kernels.fast_kernels_enabled():
+        return reference.log_softmax(x, axis=axis)
+    xd = _f32(x.data)
+    out = xd - xd.max(axis=axis, keepdims=True)
+    e = np.exp(out)
+    out -= np.log(e.sum(axis=axis, keepdims=True))
     softmax_vals = np.exp(out)
 
     def backward(g: np.ndarray) -> None:
-        x._accumulate((g - softmax_vals * g.sum(axis=axis, keepdims=True)).astype(np.float32))
+        if x.requires_grad:
+            grad = g - softmax_vals * g.sum(axis=axis, keepdims=True)
+            x._accumulate(_f32(grad), own=True)
 
-    return Tensor._make(out.astype(np.float32), (x,), "log_softmax", backward)
+    return Tensor._make(out, (x,), "log_softmax", backward)
 
 
 def softmax(x: Tensor, axis: int = -1) -> Tensor:
     """Numerically stable softmax with a fused backward pass."""
-    shifted = x.data - x.data.max(axis=axis, keepdims=True)
-    e = np.exp(shifted)
-    out = e / e.sum(axis=axis, keepdims=True)
+    if not kernels.fast_kernels_enabled():
+        return reference.softmax(x, axis=axis)
+    xd = _f32(x.data)
+    shifted = xd - xd.max(axis=axis, keepdims=True)
+    out = np.exp(shifted, out=shifted)
+    out /= out.sum(axis=axis, keepdims=True)
 
     def backward(g: np.ndarray) -> None:
-        dot = (g * out).sum(axis=axis, keepdims=True)
-        x._accumulate((out * (g - dot)).astype(np.float32))
+        if x.requires_grad:
+            dot = (g * out).sum(axis=axis, keepdims=True)
+            x._accumulate(_f32(out * (g - dot)), own=True)
 
-    return Tensor._make(out.astype(np.float32), (x,), "softmax", backward)
+    return Tensor._make(out, (x,), "softmax", backward)
 
 
 def l2_normalize(x: Tensor, axis: int = -1, eps: float = 1e-12) -> Tensor:

@@ -8,6 +8,7 @@ with parameter traversal and state-dict (de)serialization.
 
 from __future__ import annotations
 
+import contextlib
 from typing import Iterator
 
 import numpy as np
@@ -17,6 +18,7 @@ from . import init
 from .tensor import Tensor
 
 __all__ = [
+    "frozen_parameters",
     "Module",
     "Sequential",
     "Linear",
@@ -115,6 +117,27 @@ class Module:
     def copy_(self, other: "Module") -> None:
         """Copy parameter values from a structurally identical module."""
         self.load_state_dict(other.state_dict())
+
+
+@contextlib.contextmanager
+def frozen_parameters(module: "Module"):
+    """Temporarily set ``requires_grad=False`` on every parameter.
+
+    Inside the block, forward passes still build the graph for any
+    grad-requiring *inputs*, but all parameter-gradient work (conv ``dw``
+    reductions, norm gamma/beta sums, bias sums) is skipped.  This is the
+    cheap way to compute input-only gradients — e.g. the finite-difference
+    passes of Eq. (7), which only need ``grad_X`` yet previously paid for
+    every parameter gradient as well.
+    """
+    params = module.parameters()
+    for p in params:
+        p.requires_grad = False
+    try:
+        yield params
+    finally:
+        for p in params:
+            p.requires_grad = True
 
 
 class Sequential(Module):

@@ -21,6 +21,8 @@ from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
+from . import kernels
+
 __all__ = [
     "Tensor",
     "tensor",
@@ -148,11 +150,22 @@ class Tensor:
             out._backward = backward
         return out
 
-    def _accumulate(self, grad: np.ndarray) -> None:
+    def _accumulate(self, grad: np.ndarray, own: bool = False) -> None:
+        """Add ``grad`` into :attr:`grad`.
+
+        ``own=True`` is a caller promise that ``grad`` is a freshly computed
+        array no one else references, letting the first accumulation adopt
+        it directly instead of defensively copying (the seed engine copied
+        every first gradient, doubling backward-pass memory traffic).
+        """
         if not self.requires_grad:
             return
         if self.grad is None:
-            self.grad = np.array(grad, dtype=np.float32, copy=True)
+            if (own and grad.dtype == np.float32 and grad.flags.writeable
+                    and kernels.fast_kernels_enabled()):
+                self.grad = grad
+            else:
+                self.grad = np.array(grad, dtype=np.float32, copy=True)
         else:
             self.grad += grad
 
@@ -211,7 +224,7 @@ class Tensor:
 
     def __neg__(self) -> "Tensor":
         def backward(g: np.ndarray) -> None:
-            self._accumulate(-g)
+            self._accumulate(-g, own=True)
 
         return Tensor._make(-self.data, (self,), "neg", backward)
 
@@ -233,8 +246,11 @@ class Tensor:
         data = self.data * other.data
 
         def backward(g: np.ndarray) -> None:
-            self._accumulate(_unbroadcast(g * other.data, self.shape))
-            other._accumulate(_unbroadcast(g * self.data, other.shape))
+            fast = kernels.fast_kernels_enabled()
+            if self.requires_grad or not fast:
+                self._accumulate(_unbroadcast(g * other.data, self.shape), own=True)
+            if other.requires_grad or not fast:
+                other._accumulate(_unbroadcast(g * self.data, other.shape), own=True)
 
         return Tensor._make(data, (self, other), "mul", backward)
 
@@ -245,8 +261,13 @@ class Tensor:
         data = self.data / other.data
 
         def backward(g: np.ndarray) -> None:
-            self._accumulate(_unbroadcast(g / other.data, self.shape))
-            other._accumulate(_unbroadcast(-g * self.data / (other.data ** 2), other.shape))
+            fast = kernels.fast_kernels_enabled()
+            if self.requires_grad or not fast:
+                self._accumulate(_unbroadcast(g / other.data, self.shape), own=True)
+            if other.requires_grad or not fast:
+                other._accumulate(
+                    _unbroadcast(-g * self.data / (other.data ** 2), other.shape),
+                    own=True)
 
         return Tensor._make(data, (self, other), "div", backward)
 
@@ -260,7 +281,7 @@ class Tensor:
         data = self.data ** exponent
 
         def backward(g: np.ndarray) -> None:
-            self._accumulate(g * exponent * self.data ** (exponent - 1.0))
+            self._accumulate(g * exponent * self.data ** (exponent - 1.0), own=True)
 
         return Tensor._make(data, (self,), "pow", backward)
 
@@ -271,7 +292,7 @@ class Tensor:
         data = np.exp(self.data)
 
         def backward(g: np.ndarray) -> None:
-            self._accumulate(g * data)
+            self._accumulate(g * data, own=True)
 
         return Tensor._make(data, (self,), "exp", backward)
 
@@ -279,7 +300,7 @@ class Tensor:
         data = np.log(self.data)
 
         def backward(g: np.ndarray) -> None:
-            self._accumulate(g / self.data)
+            self._accumulate(g / self.data, own=True)
 
         return Tensor._make(data, (self,), "log", backward)
 
@@ -287,7 +308,7 @@ class Tensor:
         data = np.sqrt(self.data)
 
         def backward(g: np.ndarray) -> None:
-            self._accumulate(g * 0.5 / data)
+            self._accumulate(g * 0.5 / data, own=True)
 
         return Tensor._make(data, (self,), "sqrt", backward)
 
@@ -295,7 +316,7 @@ class Tensor:
         data = np.tanh(self.data)
 
         def backward(g: np.ndarray) -> None:
-            self._accumulate(g * (1.0 - data ** 2))
+            self._accumulate(g * (1.0 - data ** 2), own=True)
 
         return Tensor._make(data, (self,), "tanh", backward)
 
@@ -303,34 +324,48 @@ class Tensor:
         data = 1.0 / (1.0 + np.exp(-self.data))
 
         def backward(g: np.ndarray) -> None:
-            self._accumulate(g * data * (1.0 - data))
+            self._accumulate(g * data * (1.0 - data), own=True)
 
         return Tensor._make(data, (self,), "sigmoid", backward)
 
     def relu(self) -> "Tensor":
-        mask = self.data > 0
-        data = np.where(mask, self.data, 0.0).astype(np.float32)
+        if not kernels.fast_kernels_enabled():
+            mask = self.data > 0
+            data = np.where(mask, self.data, 0.0).astype(np.float32)
+
+            def backward(g: np.ndarray) -> None:
+                self._accumulate(g * mask)
+
+            return Tensor._make(data, (self,), "relu", backward)
+
+        # np.maximum keeps float32 without the where+astype copy the seed
+        # made; the backward mask is derived lazily from the retained input.
+        source = self.data
+        data = np.maximum(source, 0.0)
 
         def backward(g: np.ndarray) -> None:
-            self._accumulate(g * mask)
+            self._accumulate(g * (source > 0), own=True)
 
         return Tensor._make(data, (self,), "relu", backward)
 
     def leaky_relu(self, negative_slope: float = 0.01) -> "Tensor":
         mask = self.data > 0
-        data = np.where(mask, self.data, negative_slope * self.data).astype(np.float32)
+        data = np.where(mask, self.data, negative_slope * self.data)
+        if data.dtype != np.float32:
+            data = data.astype(np.float32)
 
         def backward(g: np.ndarray) -> None:
-            self._accumulate(g * np.where(mask, 1.0, negative_slope).astype(np.float32))
+            slopes = np.where(mask, np.float32(1.0), np.float32(negative_slope))
+            self._accumulate(g * slopes, own=True)
 
         return Tensor._make(data, (self,), "leaky_relu", backward)
 
     def abs(self) -> "Tensor":
-        sign = np.sign(self.data).astype(np.float32)
+        sign = np.sign(self.data)
         data = np.abs(self.data)
 
         def backward(g: np.ndarray) -> None:
-            self._accumulate(g * sign)
+            self._accumulate(g * sign, own=True)
 
         return Tensor._make(data, (self,), "abs", backward)
 
@@ -340,7 +375,7 @@ class Tensor:
         data = np.clip(self.data, low, high)
 
         def backward(g: np.ndarray) -> None:
-            self._accumulate(g * mask)
+            self._accumulate(g * mask, own=True)
 
         return Tensor._make(data, (self,), "clip", backward)
 
@@ -356,7 +391,8 @@ class Tensor:
                 axes = (axis,) if isinstance(axis, int) else tuple(axis)
                 axes = tuple(a % self.ndim for a in axes)
                 grad = np.expand_dims(grad, tuple(sorted(axes)))
-            self._accumulate(np.broadcast_to(grad, self.shape).astype(np.float32))
+            self._accumulate(np.broadcast_to(grad, self.shape).astype(np.float32),
+                             own=True)
 
         return Tensor._make(data, (self,), "sum", backward)
 
@@ -386,7 +422,7 @@ class Tensor:
             grad = g
             if axis is not None and not keepdims:
                 grad = np.expand_dims(grad, axis)
-            self._accumulate((mask / counts * grad).astype(np.float32))
+            self._accumulate((mask / counts * grad).astype(np.float32), own=True)
 
         return Tensor._make(data, (self,), "max", backward)
 
@@ -430,7 +466,7 @@ class Tensor:
         def backward(g: np.ndarray) -> None:
             grad = np.zeros_like(self.data)
             np.add.at(grad, idx, g)
-            self._accumulate(grad)
+            self._accumulate(grad, own=True)
 
         return Tensor._make(data, (self,), "getitem", backward)
 
@@ -454,18 +490,21 @@ class Tensor:
         data = self.data @ other.data
 
         def backward(g: np.ndarray) -> None:
-            if self.requires_grad:
+            fast = kernels.fast_kernels_enabled()
+            if self.requires_grad or not fast:
                 if other.ndim == 1:
                     grad_self = np.outer(g, other.data) if self.ndim == 2 else g * other.data
                 else:
                     grad_self = g @ np.swapaxes(other.data, -1, -2)
-                self._accumulate(_unbroadcast(np.asarray(grad_self, dtype=np.float32), self.shape))
-            if other.requires_grad:
+                self._accumulate(_unbroadcast(np.asarray(grad_self, dtype=np.float32),
+                                              self.shape), own=True)
+            if other.requires_grad or not fast:
                 if self.ndim == 1:
                     grad_other = np.outer(self.data, g) if other.ndim == 2 else g * self.data
                 else:
                     grad_other = np.swapaxes(self.data, -1, -2) @ g
-                other._accumulate(_unbroadcast(np.asarray(grad_other, dtype=np.float32), other.shape))
+                other._accumulate(_unbroadcast(np.asarray(grad_other, dtype=np.float32),
+                                               other.shape), own=True)
 
         return Tensor._make(data, (self, other), "matmul", backward)
 
@@ -514,7 +553,11 @@ def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
     data = np.where(cond, a.data, b.data).astype(np.float32)
 
     def backward(g: np.ndarray) -> None:
-        a._accumulate(_unbroadcast(np.where(cond, g, 0.0).astype(np.float32), a.shape))
-        b._accumulate(_unbroadcast(np.where(cond, 0.0, g).astype(np.float32), b.shape))
+        if a.requires_grad:
+            a._accumulate(_unbroadcast(np.where(cond, g, np.float32(0.0)), a.shape),
+                          own=True)
+        if b.requires_grad:
+            b._accumulate(_unbroadcast(np.where(cond, np.float32(0.0), g), b.shape),
+                          own=True)
 
     return Tensor._make(data, (a, b), "where", backward)

@@ -1,0 +1,213 @@
+"""Equivalence and lifecycle tests for the fast kernel layer.
+
+The fast kernels (plan-cached im2col, slice-table col2im, cached einsum
+contraction paths, workspace arena) must match the preserved seed
+implementations — forward values and every gradient — to 1e-5 across a
+grid of odd sizes, strides, and paddings, in both col2im scatter modes.
+The plan cache must honor its LRU bound and the arena must actually reuse
+buffers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+from repro.nn import kernels
+from repro.nn.tensor import Tensor
+from repro.nn.workspace import WorkspaceArena
+
+TOL = dict(rtol=1e-5, atol=1e-5)
+
+
+def _conv_case(rng, n, c, h, w, oc, k, stride, pad, *, bias=True, fast=True):
+    """Run conv2d fwd+bwd in the given mode; return out, dx, dw, db."""
+    kernels.set_fast_kernels(fast)
+    x = Tensor(rng.standard_normal((n, c, h, w)).astype(np.float32),
+               requires_grad=True)
+    wt = Tensor(rng.standard_normal((oc, c, k, k)).astype(np.float32),
+                requires_grad=True)
+    bt = (Tensor(rng.standard_normal((oc,)).astype(np.float32),
+                 requires_grad=True) if bias else None)
+    out = F.conv2d(x, wt, bt, stride=stride, padding=pad)
+    g = rng.standard_normal(out.shape).astype(np.float32)
+    out.backward(g)
+    return (out.data, x.grad, wt.grad,
+            None if bt is None else bt.grad)
+
+
+@pytest.fixture(autouse=True)
+def _restore_kernel_state():
+    yield
+    kernels.set_fast_kernels(True)
+    kernels.set_scatter_mode("slices")
+
+
+CONV_GRID = [
+    # (n, c, h, w, oc, k, stride, pad)
+    (2, 3, 8, 8, 4, 3, 1, 1),
+    (1, 1, 5, 5, 2, 3, 1, 0),    # odd size, no padding
+    (2, 2, 7, 7, 3, 3, 2, 1),    # odd size, stride 2
+    (3, 4, 9, 9, 5, 3, 2, 0),    # odd size, stride 2, no padding
+    (1, 2, 6, 6, 2, 2, 2, 0),    # even kernel
+    (2, 3, 11, 11, 4, 5, 1, 1),  # large kernel on odd size
+]
+
+
+class TestConvEquivalence:
+    @pytest.mark.parametrize("case", CONV_GRID)
+    def test_fast_matches_seed(self, rng, case):
+        seed = rng.integers(0, 2**31)
+        fast = _conv_case(np.random.default_rng(seed), *case, fast=True)
+        ref = _conv_case(np.random.default_rng(seed), *case, fast=False)
+        for got, want in zip(fast, ref):
+            np.testing.assert_allclose(got, want, **TOL)
+
+    @pytest.mark.parametrize("case", CONV_GRID[:3])
+    def test_bincount_scatter_matches_seed(self, rng, case):
+        kernels.set_scatter_mode("bincount")
+        seed = rng.integers(0, 2**31)
+        fast = _conv_case(np.random.default_rng(seed), *case, fast=True)
+        ref = _conv_case(np.random.default_rng(seed), *case, fast=False)
+        for got, want in zip(fast, ref):
+            np.testing.assert_allclose(got, want, **TOL)
+
+    def test_no_bias(self, rng):
+        seed = rng.integers(0, 2**31)
+        fast = _conv_case(np.random.default_rng(seed), 2, 3, 8, 8, 4, 3, 1, 1,
+                          bias=False, fast=True)
+        ref = _conv_case(np.random.default_rng(seed), 2, 3, 8, 8, 4, 3, 1, 1,
+                         bias=False, fast=False)
+        for got, want in zip(fast[:3], ref[:3]):
+            np.testing.assert_allclose(got, want, **TOL)
+
+    def test_im2col_primitives_match(self, rng):
+        x = rng.standard_normal((2, 3, 7, 7)).astype(np.float32)
+        plan = kernels.get_conv_plan(2, 3, 7, 7, 3, 3, 2, 1)
+        cols = kernels.im2col(x, plan).reshape(plan.cols_shape)
+        ref = kernels.im2col_reference(x, 3, 3, 2, 1)
+        np.testing.assert_array_equal(np.asarray(cols), ref)
+        d = rng.standard_normal(ref.shape).astype(np.float32)
+        np.testing.assert_allclose(
+            kernels.col2im(d, plan),
+            kernels.col2im_reference(d, (2, 3, 7, 7), 3, 3, 2, 1), **TOL)
+
+
+class TestOtherOpsEquivalence:
+    @pytest.mark.parametrize("op,shape", [
+        ("instance_norm2d", (3, 4, 6, 6)),
+        ("avg_pool2d", (2, 3, 8, 8)),
+        ("max_pool2d", (2, 3, 8, 8)),
+        ("log_softmax", (5, 7)),
+        ("softmax", (5, 7)),
+    ])
+    def test_fast_matches_seed(self, rng, op, shape):
+        data = rng.standard_normal(shape).astype(np.float32)
+        g = rng.standard_normal(data.shape).astype(np.float32) \
+            if op in ("log_softmax", "softmax") else None
+        results = []
+        for fast in (True, False):
+            kernels.set_fast_kernels(fast)
+            x = Tensor(data.copy(), requires_grad=True)
+            out = getattr(F, op)(x)
+            out.backward(np.ones_like(out.data) if g is None
+                         else g[:out.shape[0], :out.shape[1]])
+            results.append((out.data, x.grad))
+        np.testing.assert_allclose(results[0][0], results[1][0], **TOL)
+        np.testing.assert_allclose(results[0][1], results[1][1], **TOL)
+
+    def test_requires_grad_false_skips_backward_state(self, rng):
+        kernels.set_fast_kernels(True)
+        x = Tensor(rng.standard_normal((2, 3, 8, 8)).astype(np.float32))
+        out = F.max_pool2d(x, 2)
+        assert not out.requires_grad
+
+
+class TestPlanCache:
+    def test_lru_bound_is_enforced(self):
+        kernels.clear_plan_cache()
+        old_limit = kernels.plan_cache_info()["limit"]
+        try:
+            kernels.set_plan_cache_limit(3)
+            for n in range(1, 8):
+                kernels.get_conv_plan(n, 1, 6, 6, 3, 3, 1, 1)
+            info = kernels.plan_cache_info()
+            assert info["size"] <= 3
+        finally:
+            kernels.set_plan_cache_limit(old_limit)
+            kernels.clear_plan_cache()
+
+    def test_plans_are_reused(self):
+        kernels.clear_plan_cache()
+        a = kernels.get_conv_plan(2, 3, 8, 8, 3, 3, 1, 1)
+        b = kernels.get_conv_plan(2, 3, 8, 8, 3, 3, 1, 1)
+        assert a is b
+        assert kernels.plan_cache_info()["hits"] >= 1
+
+    def test_lru_evicts_oldest(self):
+        kernels.clear_plan_cache()
+        old_limit = kernels.plan_cache_info()["limit"]
+        try:
+            kernels.set_plan_cache_limit(2)
+            a = kernels.get_conv_plan(1, 1, 6, 6, 3, 3, 1, 1)
+            kernels.get_conv_plan(2, 1, 6, 6, 3, 3, 1, 1)
+            kernels.get_conv_plan(3, 1, 6, 6, 3, 3, 1, 1)  # evicts a
+            a2 = kernels.get_conv_plan(1, 1, 6, 6, 3, 3, 1, 1)
+            assert a2 is not a
+        finally:
+            kernels.set_plan_cache_limit(old_limit)
+            kernels.clear_plan_cache()
+
+
+class TestWorkspaceArena:
+    def test_buffers_are_reused(self):
+        arena = WorkspaceArena(max_bytes=1 << 20, enabled=True)
+        buf = arena.acquire((64, 64), np.float32)
+        arena.release(buf)
+        again = arena.acquire((64, 64), np.float32)
+        assert again is buf
+        assert arena.stats()["hits"] == 1
+
+    def test_full_size_view_release_resolves_to_base(self):
+        arena = WorkspaceArena(max_bytes=1 << 20, enabled=True)
+        buf = arena.acquire((8, 16), np.float32)
+        arena.release(buf.T)  # transpose view of the whole buffer
+        again = arena.acquire((8, 16), np.float32)
+        assert again is buf
+
+    def test_partial_view_is_not_pooled(self):
+        arena = WorkspaceArena(max_bytes=1 << 20, enabled=True)
+        buf = arena.acquire((8, 16), np.float32)
+        arena.release(buf[:4])
+        assert arena.stats()["pooled_buffers"] == 0
+
+    def test_double_release_is_idempotent(self):
+        arena = WorkspaceArena(max_bytes=1 << 20, enabled=True)
+        buf = arena.acquire((4, 4), np.float32)
+        arena.release(buf)
+        arena.release(buf)
+        assert arena.stats()["pooled_buffers"] == 1
+        a = arena.acquire((4, 4), np.float32)
+        b = arena.acquire((4, 4), np.float32)
+        assert a is not b
+
+    def test_byte_cap_evicts(self):
+        arena = WorkspaceArena(max_bytes=4 * 64 * 64, enabled=True)
+        first = arena.acquire((64, 64), np.float32)
+        second = np.empty((64, 64), np.float32)
+        arena.release(first)
+        arena.release(second)  # exceeds cap -> evicts LRU (first)
+        assert arena.stats()["pooled_bytes"] <= arena.max_bytes
+
+    def test_conv_backward_releases_columns_for_reuse(self, rng):
+        kernels.set_fast_kernels(True)
+        kernels.default_arena.reset_stats()
+        for _ in range(2):
+            x = Tensor(rng.standard_normal((2, 3, 8, 8)).astype(np.float32),
+                       requires_grad=True)
+            w = Tensor(rng.standard_normal((4, 3, 3, 3)).astype(np.float32),
+                       requires_grad=True)
+            out = F.conv2d(x, w, stride=1, padding=1)
+            out.backward(np.ones_like(out.data))
+        assert kernels.default_arena.stats()["hits"] >= 1

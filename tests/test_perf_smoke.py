@@ -1,0 +1,79 @@
+"""Wall-clock smoke tests for the kernel hot path.
+
+Not benchmarks — the real numbers live in ``benchmarks/micro`` — these are
+cheap tripwires that fail loudly if a change makes the condensation hot
+path pathologically slow or makes the fast kernels lose to the preserved
+seed implementations outright.  Bounds are deliberately generous so they
+stay green on slow CI machines.
+
+Run just these with ``pytest -m perf_smoke``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.buffer.buffer import SyntheticBuffer
+from repro.condensation.one_step import OneStepMatcher
+from repro.nn import functional as F
+from repro.nn import kernels
+from repro.nn.convnet import ConvNet
+from repro.nn.tensor import Tensor
+
+
+def _timed(fn):
+    t0 = time.perf_counter()
+    fn()
+    return time.perf_counter() - t0
+
+
+def _best_of(fn, repeats=3):
+    fn()  # warm up plans / arena
+    return min(_timed(fn) for _ in range(repeats))
+
+
+@pytest.mark.perf_smoke
+def test_tiny_condense_segment_is_quick():
+    rng = np.random.default_rng(0)
+    buf = SyntheticBuffer(3, 2, (3, 8, 8))
+    buf.images[:] = rng.standard_normal(buf.images.shape).astype(np.float32)
+    real_x = rng.standard_normal((24, 3, 8, 8)).astype(np.float32)
+    real_y = rng.integers(0, 3, 24)
+    matcher = OneStepMatcher(iterations=2, alpha=0.1, batch_size=16)
+    factory = lambda r: ConvNet(3, 3, 8, width=8, depth=2, rng=r)
+    deployed = ConvNet(3, 3, 8, width=8, depth=2, rng=np.random.default_rng(5))
+
+    t0 = time.perf_counter()
+    stats = matcher.condense(buf, [0, 1, 2], real_x, real_y, None,
+                             model_factory=factory,
+                             rng=np.random.default_rng(1),
+                             deployed_model=deployed)
+    elapsed = time.perf_counter() - t0
+
+    assert stats.iterations == 2
+    # ~60ms on a laptop core; 30s means something is catastrophically wrong.
+    assert elapsed < 30.0, f"tiny condense segment took {elapsed:.1f}s"
+
+
+@pytest.mark.perf_smoke
+def test_fast_conv_not_slower_than_seed():
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal((32, 8, 16, 16)).astype(np.float32)
+    w = rng.standard_normal((8, 8, 3, 3)).astype(np.float32)
+
+    def fwd():
+        F.conv2d(Tensor(x), Tensor(w), stride=1, padding=1)
+
+    kernels.set_fast_kernels(True)
+    try:
+        fast = _best_of(fwd)
+        with kernels.reference_mode():
+            seed = _best_of(fwd)
+    finally:
+        kernels.set_fast_kernels(True)
+    # The fast path wins ~3x here; allow wide headroom for noisy machines.
+    assert fast <= seed * 1.5, (
+        f"fast conv2d regressed: {fast * 1e3:.2f}ms vs seed {seed * 1e3:.2f}ms")
