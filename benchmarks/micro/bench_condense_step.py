@@ -25,6 +25,7 @@ from repro.buffer.buffer import SyntheticBuffer
 from repro.condensation.one_step import OneStepMatcher
 from repro.nn import kernels
 from repro.nn.convnet import ConvNet
+from repro.obs import collect_runtime_counters
 
 try:  # package import (pytest) vs direct script execution
     from .bench_kernels import RESULTS_PATH, merge_results
@@ -86,6 +87,7 @@ def main(argv=None) -> dict:
         "fast_all_s": fast_times,
         "seed_all_s": seed_times,
         "speedup": seed / fast,
+        "counters": collect_runtime_counters(emit=False),
     }
     merge_results("condense_step", payload)
     print(f"condense segment (ConvNet depth {DEPTH}, {HW}x{HW}, "

@@ -25,6 +25,7 @@ from repro.nn import ConvNet, kernels
 from repro.nn import functional as F
 from repro.nn.losses import cross_entropy
 from repro.nn.tensor import Tensor
+from repro.obs import collect_runtime_counters
 
 RESULTS_PATH = (pathlib.Path(__file__).resolve().parents[2]
                 / "bench_results" / "micro_kernels.json")
@@ -163,7 +164,8 @@ def main(argv=None) -> dict:
     kernels.set_fast_kernels(True)
 
     payload = {"shape": {"batch": N, "channels": C, "hw": HW, "out_channels": OC},
-               "repeats": args.repeats, "cases": results}
+               "repeats": args.repeats, "cases": results,
+               "counters": collect_runtime_counters(emit=False)}
     merge_results("kernels", payload)
 
     width = max(len(k) for k in results)

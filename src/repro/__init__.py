@@ -10,11 +10,12 @@ pure-numpy substrate.  Top-level subpackages:
 * :mod:`repro.condensation` — DECO one-step matching plus DC/DSA/DM baselines.
 * :mod:`repro.core` — pseudo-labeling, the DECO algorithm, learners, evaluation.
 * :mod:`repro.experiments` — runners that regenerate each paper table/figure.
+* :mod:`repro.obs` — structured telemetry: spans, counters, JSONL traces.
 """
 
 __version__ = "1.0.0"
 
-from . import buffer, condensation, core, data, experiments, nn, utils
+from . import buffer, condensation, core, data, experiments, nn, obs, utils
 
-__all__ = ["nn", "data", "buffer", "condensation", "core", "experiments", "utils",
-           "__version__"]
+__all__ = ["nn", "data", "buffer", "condensation", "core", "experiments",
+           "obs", "utils", "__version__"]

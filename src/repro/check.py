@@ -1,0 +1,98 @@
+"""Single-command verification: tests + perf smoke + micro-bench smoke.
+
+``repro-check`` (registered in ``pyproject.toml``) is the ``make check``
+equivalent for this repo.  It runs, in order:
+
+1. the tier-1 test suite (``python -m pytest -q``);
+2. the ``perf_smoke`` wall-clock tripwires (``pytest -m perf_smoke``);
+3. a one-repeat pass of the micro-benchmarks (kernel cases + one condense
+   segment), which also refreshes the counter snapshots attached to
+   ``bench_results/micro_kernels.json``.
+
+Steps 2-3 need the repo checkout (``tests/`` and ``benchmarks/`` are not
+installed); they are skipped with a notice when run from elsewhere.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.check [--skip-bench] [--skip-tests]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import pathlib
+import subprocess
+import sys
+
+__all__ = ["main"]
+
+
+def _repo_root() -> pathlib.Path | None:
+    """The repo checkout to verify: cwd if it has tests/, else the source tree."""
+    for candidate in (pathlib.Path.cwd(),
+                      pathlib.Path(__file__).resolve().parents[2]):
+        if (candidate / "tests").is_dir() and (candidate / "pyproject.toml").is_file():
+            return candidate
+    return None
+
+
+def _run(cmd: list[str], cwd: pathlib.Path, title: str) -> int:
+    print(f"== {title}: {' '.join(cmd)}")
+    env = dict(os.environ)
+    src = str(cwd / "src")
+    env["PYTHONPATH"] = (src + os.pathsep + env["PYTHONPATH"]
+                         if env.get("PYTHONPATH") else src)
+    result = subprocess.run(cmd, cwd=cwd, env=env)
+    status = "ok" if result.returncode == 0 else f"FAILED ({result.returncode})"
+    print(f"== {title}: {status}\n")
+    return result.returncode
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--skip-tests", action="store_true",
+                        help="skip the pytest suites")
+    parser.add_argument("--skip-bench", action="store_true",
+                        help="skip the micro-benchmark smoke pass")
+    parser.add_argument("--bench-repeats", type=int, default=1,
+                        help="best-of-N repeats for the micro benches")
+    args = parser.parse_args(argv)
+
+    root = _repo_root()
+    if root is None:
+        print("repro-check: no repo checkout found (tests/ + pyproject.toml); "
+              "run from the repository root")
+        return 2
+
+    failures = 0
+    if not args.skip_tests:
+        failures += _run([sys.executable, "-m", "pytest", "-q"], root,
+                         "tier-1 tests") != 0
+        failures += _run([sys.executable, "-m", "pytest", "-q",
+                          "-m", "perf_smoke"], root, "perf smoke") != 0
+
+    if not args.skip_bench:
+        bench_dir = root / "benchmarks" / "micro"
+        if bench_dir.is_dir():
+            repeats = str(args.bench_repeats)
+            failures += _run([sys.executable,
+                              str(bench_dir / "bench_kernels.py"),
+                              "--repeats", repeats], root,
+                             "micro-bench kernels") != 0
+            failures += _run([sys.executable,
+                              str(bench_dir / "bench_condense_step.py"),
+                              "--repeats", repeats], root,
+                             "micro-bench condense step") != 0
+        else:
+            print(f"== micro-bench: skipped (no {bench_dir})")
+
+    if failures:
+        print(f"repro-check: {failures} step(s) failed")
+        return 1
+    print("repro-check: all steps passed")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

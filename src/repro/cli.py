@@ -13,7 +13,10 @@ Usage::
 
 Every subcommand accepts ``--profile micro|smoke|paper`` and ``--seed`` and
 prints the paper-style report; ``--output`` additionally writes it to a
-file.
+file.  ``--telemetry DIR`` records a structured JSONL trace of the run
+(per-segment events, per-pass span timings, kernel/cache counters) into
+``DIR/trace.jsonl``, which ``python -m repro obs summarize DIR`` renders
+as tables.
 """
 
 from __future__ import annotations
@@ -41,6 +44,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--output", type=pathlib.Path, default=None,
                         help="also write the report to this file")
+    parser.add_argument("--telemetry", type=pathlib.Path, default=None,
+                        metavar="DIR",
+                        help="record a JSONL telemetry trace of the run "
+                             "into DIR/trace.jsonl")
     sub = parser.add_subparsers(dest="command", required=True)
 
     t1 = sub.add_parser("table1", help="Table I: accuracy comparison")
@@ -79,10 +86,23 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--ipc", type=int, default=10)
     run.add_argument("--condenser", default="deco",
                      choices=("deco", "dc", "dsa", "dm"))
+
+    obs_cmd = sub.add_parser("obs", help="telemetry-trace tooling")
+    obs_cmd.add_argument("action", choices=("summarize",),
+                         help="what to do with the trace")
+    obs_cmd.add_argument("trace", type=pathlib.Path,
+                         help="trace.jsonl file or the run directory "
+                              "written by --telemetry")
     return parser
 
 
 def _dispatch(args: argparse.Namespace) -> str:
+    if args.command == "obs":
+        from .obs import summarize_trace
+        try:
+            return summarize_trace(args.trace)
+        except FileNotFoundError as exc:
+            raise SystemExit(f"repro obs: error: {exc}") from exc
     if args.command == "table1":
         from .experiments.profiles import get_profile
         seeds = (tuple(args.seeds) if args.seeds is not None
@@ -131,10 +151,25 @@ def _dispatch(args: argparse.Namespace) -> str:
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
-    report = _dispatch(args)
+    tracing = args.telemetry is not None and args.command != "obs"
+    if tracing:
+        from . import obs
+        obs.enable(args.telemetry)
+        obs.event("run_start", command=args.command, profile=args.profile,
+                  seed=args.seed)
+    try:
+        report = _dispatch(args)
+    finally:
+        if tracing:
+            from . import obs
+            obs.collect_runtime_counters()
+            obs.shutdown()
     print(report)
     if args.output is not None:
         args.output.write_text(report + "\n")
+    if tracing:
+        print(f"[telemetry trace saved to {args.telemetry}/trace.jsonl — "
+              f"summarize with: python -m repro obs summarize {args.telemetry}]")
     return 0
 
 

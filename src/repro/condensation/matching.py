@@ -19,6 +19,7 @@ from typing import Sequence
 
 import numpy as np
 
+from .. import obs
 from ..data.transforms import AugmentationParams, apply_augmentation
 from ..nn import kernels
 from ..nn.layers import Module, frozen_parameters
@@ -131,10 +132,14 @@ def finite_difference_matching_grad(model: Module, syn_x: np.ndarray,
     try:
         for p, d in zip(params, direction):
             p.data = p.data + eps * d
-        grad_plus = input_gradient(model, syn_x, syn_y, augmentation=augmentation)
+        with obs.span("pass.fd_plus"):
+            grad_plus = input_gradient(model, syn_x, syn_y,
+                                       augmentation=augmentation)
         for p, orig, d in zip(params, originals, direction):
             p.data = orig - eps * d
-        grad_minus = input_gradient(model, syn_x, syn_y, augmentation=augmentation)
+        with obs.span("pass.fd_minus"):
+            grad_minus = input_gradient(model, syn_x, syn_y,
+                                        augmentation=augmentation)
     finally:
         for p, orig in zip(params, originals):
             p.data = orig

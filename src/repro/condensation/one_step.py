@@ -16,6 +16,7 @@ from typing import Sequence
 
 import numpy as np
 
+from .. import obs
 from ..buffer.buffer import SyntheticBuffer
 from ..nn import kernels
 from ..nn.layers import Module, frozen_parameters
@@ -159,10 +160,13 @@ class OneStepMatcher(CondensationMethod):
                 model = model_factory(rng)
             batch_x, batch_y, batch_w = self._real_batch(real_x, real_y, real_w, rng)
 
-            g_real, _ = parameter_gradients(model, batch_x, batch_y, batch_w)
-            g_syn, _ = parameter_gradients(model, syn_pixels.data, syn_labels)
-            distance, direction = distance_and_grad_wrt_gsyn(
-                g_syn, g_real, metric=self.metric)
+            with obs.span("pass.g_real"):
+                g_real, _ = parameter_gradients(model, batch_x, batch_y, batch_w)
+            with obs.span("pass.g_syn"):
+                g_syn, _ = parameter_gradients(model, syn_pixels.data, syn_labels)
+            with obs.span("pass.grad_distance"):
+                distance, direction = distance_and_grad_wrt_gsyn(
+                    g_syn, g_real, metric=self.metric)
             matching_grad = finite_difference_matching_grad(
                 model, syn_pixels.data, syn_labels, direction,
                 epsilon_numerator=self.epsilon_numerator)
@@ -175,8 +179,9 @@ class OneStepMatcher(CondensationMethod):
                 # non-active rows come from the buffer, the active rows from
                 # the pixels being optimized.
                 buffer.images[active_rows] = syn_pixels.data
-                disc_grad, disc_loss = self._discrimination_grad(
-                    buffer, active_rows, deployed_model, rng)
+                with obs.span("pass.discrimination"):
+                    disc_grad, disc_loss = self._discrimination_grad(
+                        buffer, active_rows, deployed_model, rng)
                 total_grad = total_grad + self.alpha * disc_grad
                 stats.forward_backward_passes += 1
                 stats.extra["discrimination_loss"] = disc_loss

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .. import obs
 from ..buffer.buffer import SyntheticBuffer
 from ..condensation.base import CondensationMethod, ModelFactory
 from ..condensation.one_step import OneStepMatcher
@@ -70,12 +71,30 @@ class DECOLearner(OnDeviceLearner):
         self.condenser = condenser or OneStepMatcher()
         self.labeler = labeler or MajorityVotePseudoLabeler()
 
+    def _vote_margin(self, result) -> float:
+        """Tightest active-class margin over the voting threshold (Eq. 2).
+
+        The smallest ``share - m`` among active classes: how close the
+        weakest elected class came to being filtered out.  NaN when no
+        class is active or the labeler has no single threshold.
+        """
+        threshold = getattr(self.labeler, "threshold", None)
+        if not result.active_classes or threshold is None or not len(result.labels):
+            return float("nan")
+        shares = (np.bincount(result.labels, minlength=self.model.num_classes)
+                  / len(result.labels))
+        return float(min(shares[c] for c in result.active_classes) - threshold)
+
     def observe_segment(self, segment: StreamSegment) -> dict:
-        result = self.labeler.label_segment(self.model, segment.images)
+        with obs.span("pseudo_label", segment=segment.index):
+            result = self.labeler.label_segment(self.model, segment.images)
         correct = result.labels == segment.hidden_labels
         diag = {
             "retained_fraction": result.retained_fraction,
             "active_classes": result.active_classes,
+            "pseudo_labels_total": int(len(result.labels)),
+            "pseudo_labels_kept": int(result.keep.sum()),
+            "vote_margin": self._vote_margin(result),
             "pseudo_label_accuracy": float(correct.mean()) if len(segment) else 0.0,
             # Accuracy of the labels that survive majority-vote filtering —
             # the "pseudo-labeling accuracy" curve of Fig. 4a.
@@ -84,14 +103,28 @@ class DECOLearner(OnDeviceLearner):
         }
         if result.active_classes:
             keep = result.keep
-            stats = self.condenser.condense(
-                self.buffer, result.active_classes,
-                segment.images[keep], result.labels[keep],
-                result.confidences[keep],
-                model_factory=self.model_factory, rng=self.rng,
-                deployed_model=self.model)
+            active_rows = self.buffer.indices_for_classes(result.active_classes)
+            # Buffer drift is diagnostic-only; skip the snapshot copy unless
+            # telemetry is on so the disabled hot path stays allocation-free.
+            before = (self.buffer.images[active_rows].copy()
+                      if obs.enabled() else None)
+            with obs.span("condense", segment=segment.index):
+                stats = self.condenser.condense(
+                    self.buffer, result.active_classes,
+                    segment.images[keep], result.labels[keep],
+                    result.confidences[keep],
+                    model_factory=self.model_factory, rng=self.rng,
+                    deployed_model=self.model)
             diag["matching_loss"] = stats.matching_loss
             diag["condense_passes"] = stats.forward_backward_passes
+            if "discrimination_loss" in stats.extra:
+                diag["discrimination_loss"] = stats.extra["discrimination_loss"]
+                # Unwrap delegating wrappers (e.g. TimedCondenser) for alpha.
+                inner = getattr(self.condenser, "inner", self.condenser)
+                diag["alpha"] = getattr(inner, "alpha", None)
+            if before is not None:
+                diag["buffer_drift_l2"] = float(np.linalg.norm(
+                    self.buffer.images[active_rows] - before))
         return diag
 
     def training_set(self) -> tuple[np.ndarray, np.ndarray]:

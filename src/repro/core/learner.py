@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import obs
 from ..data.stream import Stream, StreamSegment
 from ..nn import init
 from ..nn.layers import Module
@@ -178,23 +179,41 @@ class OnDeviceLearner(abc.ABC):
         samples_seen = 0
         trained_at = -1
         for segment in stream:
-            diag = self.observe_segment(segment)
+            with obs.span("segment", segment=segment.index):
+                diag = self.observe_segment(segment)
             samples_seen += len(segment)
-            if (segment.index + 1) % self.config.beta == 0:
-                self.update_model()
+            retrained = (segment.index + 1) % self.config.beta == 0
+            if retrained:
+                with obs.span("retrain", segment=segment.index):
+                    self.update_model()
                 trained_at = segment.index
             if diag:
                 diag["segment"] = segment.index
                 history.diagnostics.append(diag)
+            if obs.enabled():
+                fields = {k: v for k, v in (diag or {}).items()
+                          if k != "segment"}
+                obs.event("segment", segment=segment.index,
+                          samples_seen=samples_seen, retrain=retrained,
+                          **fields)
             if (eval_every is not None
                     and (segment.index + 1) % eval_every == 0):
                 history.record_eval(
                     samples_seen, evaluate_accuracy(self.model, x_test, y_test))
+                obs.event("eval", segment=segment.index,
+                          samples_seen=samples_seen,
+                          accuracy=history.accuracy[-1])
         # Fold in any segments after the last scheduled update, then do the
         # final evaluation the paper's "final average accuracy" reports.
         if trained_at != len(stream) - 1:
-            self.update_model()
+            with obs.span("retrain", segment=len(stream) - 1):
+                self.update_model()
         if can_eval:
             history.record_eval(samples_seen,
                                 evaluate_accuracy(self.model, x_test, y_test))
+            obs.event("eval", segment=len(stream) - 1,
+                      samples_seen=samples_seen,
+                      accuracy=history.accuracy[-1])
+        if obs.enabled():
+            obs.collect_runtime_counters()
         return history

@@ -277,12 +277,13 @@ _PLAN_CACHE: OrderedDict[tuple, ConvPlan] = OrderedDict()
 _PLAN_CACHE_LIMIT = max(1, int(os.environ.get("REPRO_PLAN_CACHE", "32")))
 _PLAN_HITS = 0
 _PLAN_MISSES = 0
+_PLAN_EVICTIONS = 0
 
 
 def get_conv_plan(n: int, c: int, h: int, w: int, kh: int, kw: int,
                   stride: int, pad: int) -> ConvPlan:
     """Fetch (or build and cache) the plan for one conv geometry."""
-    global _PLAN_HITS, _PLAN_MISSES
+    global _PLAN_HITS, _PLAN_MISSES, _PLAN_EVICTIONS
     key = (n, c, h, w, kh, kw, stride, pad)
     with _PLAN_LOCK:
         plan = _PLAN_CACHE.get(key)
@@ -297,30 +298,33 @@ def get_conv_plan(n: int, c: int, h: int, w: int, kh: int, kw: int,
         _PLAN_CACHE.move_to_end(key)
         while len(_PLAN_CACHE) > _PLAN_CACHE_LIMIT:
             _PLAN_CACHE.popitem(last=False)
+            _PLAN_EVICTIONS += 1
     return plan
 
 
 def plan_cache_info() -> dict[str, int]:
     with _PLAN_LOCK:
         return {"size": len(_PLAN_CACHE), "limit": _PLAN_CACHE_LIMIT,
-                "hits": _PLAN_HITS, "misses": _PLAN_MISSES}
+                "hits": _PLAN_HITS, "misses": _PLAN_MISSES,
+                "evictions": _PLAN_EVICTIONS}
 
 
 def clear_plan_cache() -> None:
-    global _PLAN_HITS, _PLAN_MISSES
+    global _PLAN_HITS, _PLAN_MISSES, _PLAN_EVICTIONS
     with _PLAN_LOCK:
         _PLAN_CACHE.clear()
-        _PLAN_HITS = _PLAN_MISSES = 0
+        _PLAN_HITS = _PLAN_MISSES = _PLAN_EVICTIONS = 0
 
 
 def set_plan_cache_limit(limit: int) -> None:
-    global _PLAN_CACHE_LIMIT
+    global _PLAN_CACHE_LIMIT, _PLAN_EVICTIONS
     if limit < 1:
         raise ValueError("plan cache limit must be >= 1")
     with _PLAN_LOCK:
         _PLAN_CACHE_LIMIT = int(limit)
         while len(_PLAN_CACHE) > _PLAN_CACHE_LIMIT:
             _PLAN_CACHE.popitem(last=False)
+            _PLAN_EVICTIONS += 1
 
 
 # ----------------------------------------------------------------------

@@ -75,6 +75,10 @@ class WorkspaceArena:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        # Total borrow traffic and the pooled-bytes high-water mark — the
+        # occupancy numbers the telemetry layer reports per run.
+        self.borrowed_bytes = 0
+        self.high_water_bytes = 0
 
     # -- lifecycle ---------------------------------------------------------
     @staticmethod
@@ -91,6 +95,7 @@ class WorkspaceArena:
         if not self.enabled:
             return np.zeros(shape, dtype=dtype) if zero else np.empty(shape, dtype=dtype)
         key = self._key(shape, dtype)
+        nbytes = int(np.prod(key[0], dtype=np.int64)) * np.dtype(dtype).itemsize
         buf = None
         with self._lock:
             pool = self._pools.get(key)
@@ -101,6 +106,7 @@ class WorkspaceArena:
                 self.hits += 1
             else:
                 self.misses += 1
+            self.borrowed_bytes += nbytes
         if buf is None:
             buf = np.empty(shape, dtype=dtype)
         if zero:
@@ -128,6 +134,8 @@ class WorkspaceArena:
             self._pools.setdefault(key, []).append(buf)
             self._pooled_ids[id(buf)] = key
             self._pooled_bytes += buf.nbytes
+            self.high_water_bytes = max(self.high_water_bytes,
+                                        self._pooled_bytes)
             while self._pooled_bytes > self.max_bytes and self._pooled_ids:
                 old_id, old_key = self._pooled_ids.popitem(last=False)
                 pool = self._pools.get(old_key, [])
@@ -147,6 +155,7 @@ class WorkspaceArena:
     def reset_stats(self) -> None:
         with self._lock:
             self.hits = self.misses = self.evictions = 0
+            self.borrowed_bytes = self.high_water_bytes = 0
 
     # -- introspection -----------------------------------------------------
     @property
@@ -162,6 +171,8 @@ class WorkspaceArena:
                 "evictions": self.evictions,
                 "pooled_buffers": len(self._pooled_ids),
                 "pooled_bytes": self._pooled_bytes,
+                "borrowed_bytes": self.borrowed_bytes,
+                "high_water_bytes": self.high_water_bytes,
                 "max_bytes": self.max_bytes,
             }
 

@@ -1,0 +1,46 @@
+"""Structured telemetry for the DECO pipeline.
+
+Three pieces:
+
+* :mod:`repro.obs.telemetry` — the process-wide registry of counters /
+  gauges / histograms and nestable ``span`` timers; compiled down to
+  no-ops while disabled so instrumented hot paths stay free.
+* :mod:`repro.obs.sinks` — pluggable event sinks; the default run layout
+  is one ``trace.jsonl`` per run directory.
+* :mod:`repro.obs.summary` — renders a trace back into the repo's
+  standard report tables (``repro obs summarize``).
+
+Hot-path call sites import the module functions (``obs.span``,
+``obs.event``, ``obs.enabled``) rather than a registry object, so the
+disabled path is a single flag check.
+"""
+
+from .sinks import EventSink, JsonlSink, ListSink, NullSink
+from .telemetry import (Telemetry, collect_runtime_counters, counter, disable,
+                        enable, enabled, event, gauge, get_telemetry, observe,
+                        reset, shutdown, snapshot, span)
+from .summary import load_events, summarize_events, summarize_trace
+
+__all__ = [
+    "Telemetry",
+    "get_telemetry",
+    "enable",
+    "disable",
+    "enabled",
+    "span",
+    "counter",
+    "gauge",
+    "observe",
+    "event",
+    "snapshot",
+    "reset",
+    "shutdown",
+    "collect_runtime_counters",
+    "EventSink",
+    "JsonlSink",
+    "ListSink",
+    "NullSink",
+    "load_events",
+    "summarize_events",
+    "summarize_trace",
+]

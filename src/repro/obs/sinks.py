@@ -1,0 +1,88 @@
+"""Event sinks for the telemetry layer.
+
+A sink receives one dict per event (span end, segment summary, counter
+snapshot, ...).  The default on-disk layout is a *run directory* holding a
+single ``trace.jsonl`` — one JSON object per line — which
+:mod:`repro.obs.summary` turns back into report tables.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any
+
+__all__ = ["EventSink", "JsonlSink", "ListSink", "NullSink", "TRACE_FILENAME"]
+
+TRACE_FILENAME = "trace.jsonl"
+
+
+class EventSink:
+    """Interface: receives event records; ``close`` flushes and releases."""
+
+    def write(self, record: dict[str, Any]) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def close(self) -> None:
+        pass
+
+
+class NullSink(EventSink):
+    """Swallows every event (metrics-only telemetry)."""
+
+    def write(self, record: dict[str, Any]) -> None:
+        pass
+
+
+class ListSink(EventSink):
+    """Keeps events in memory; the test/bench-friendly sink."""
+
+    def __init__(self) -> None:
+        self.records: list[dict[str, Any]] = []
+
+    def write(self, record: dict[str, Any]) -> None:
+        self.records.append(record)
+
+
+class JsonlSink(EventSink):
+    """Appends one JSON line per event, buffered with periodic flushes.
+
+    ``flush_every`` bounds how many records can be lost on a crash without
+    paying an fsync per event on the hot path.
+    """
+
+    def __init__(self, path: str | pathlib.Path, *,
+                 flush_every: int = 64) -> None:
+        self.path = pathlib.Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = open(self.path, "a", encoding="utf-8")
+        self._pending = 0
+        self.flush_every = max(1, int(flush_every))
+        self.written = 0
+
+    @classmethod
+    def for_run_dir(cls, run_dir: str | pathlib.Path) -> "JsonlSink":
+        """The standard run layout: ``<run_dir>/trace.jsonl``."""
+        return cls(pathlib.Path(run_dir) / TRACE_FILENAME)
+
+    def write(self, record: dict[str, Any]) -> None:
+        self._fh.write(json.dumps(record, default=_jsonable) + "\n")
+        self.written += 1
+        self._pending += 1
+        if self._pending >= self.flush_every:
+            self._fh.flush()
+            self._pending = 0
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.flush()
+            self._fh.close()
+
+
+def _jsonable(value: Any):
+    """Fallback encoder: numpy scalars/arrays and other oddballs."""
+    if hasattr(value, "item") and getattr(value, "size", 2) == 1:
+        return value.item()
+    if hasattr(value, "tolist"):
+        return value.tolist()
+    return str(value)

@@ -1,0 +1,158 @@
+"""Turn a telemetry JSONL trace back into report tables.
+
+Consumes the run layout written by :class:`repro.obs.sinks.JsonlSink`
+(either the ``trace.jsonl`` file itself or its run directory) and renders
+the same monospace tables the experiment reports use
+(:mod:`repro.experiments.reporting`):
+
+* **Segments** — one row per ``segment`` event: active classes, pseudo-label
+  acceptance, vote margin, matching/discrimination losses, buffer drift,
+  retrain trigger;
+* **Span timings** — ``span`` events aggregated by name (count / total /
+  mean / max milliseconds), covering the matcher's five forward/backward
+  passes and the learner stages;
+* **Runtime counters** — the last ``counters`` snapshot: plan-cache
+  hits/misses/evictions and workspace-arena traffic.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any, Iterable
+
+from .sinks import TRACE_FILENAME
+
+
+def _format_table(headers, rows, title=None) -> str:
+    # Lazy import: repro.experiments transitively imports repro.core, which
+    # imports repro.obs — a top-level import here would close that cycle.
+    from ..experiments.reporting import format_table
+    return format_table(headers, rows, title=title)
+
+__all__ = ["load_events", "summarize_events", "summarize_trace"]
+
+
+def load_events(path: str | pathlib.Path) -> list[dict[str, Any]]:
+    """Read a JSONL trace; accepts the file or its run directory."""
+    path = pathlib.Path(path)
+    if path.is_dir():
+        path = path / TRACE_FILENAME
+    if not path.exists():
+        raise FileNotFoundError(f"no telemetry trace at {path}")
+    events = []
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events
+
+
+def _fmt(value: Any, digits: int = 4) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "-"
+    if isinstance(value, float):
+        return f"{value:.{digits}f}"
+    return str(value)
+
+
+def _segment_rows(events: Iterable[dict]) -> list[list[str]]:
+    rows = []
+    for ev in events:
+        if ev.get("type") != "segment":
+            continue
+        total = ev.get("pseudo_labels_total")
+        kept = ev.get("pseudo_labels_kept")
+        kept_cell = (f"{kept}/{total}" if kept is not None and total is not None
+                     else "-")
+        active = ev.get("active_classes")
+        rows.append([
+            _fmt(ev.get("segment")),
+            ",".join(map(str, active)) if active else "-",
+            kept_cell,
+            _fmt(ev.get("retained_label_accuracy")),
+            _fmt(ev.get("vote_margin")),
+            _fmt(ev.get("matching_loss")),
+            _fmt(ev.get("discrimination_loss")),
+            _fmt(ev.get("alpha")),
+            _fmt(ev.get("buffer_drift_l2")),
+            _fmt(ev.get("retrain", False)),
+        ])
+    return rows
+
+
+def _span_rows(events: Iterable[dict]) -> list[list[str]]:
+    agg: dict[str, list[float]] = {}
+    for ev in events:
+        if ev.get("type") != "span":
+            continue
+        name = ev.get("name", "?")
+        dur = float(ev.get("dur_s", 0.0))
+        entry = agg.get(name)
+        if entry is None:
+            agg[name] = [1, dur, dur]
+        else:
+            entry[0] += 1
+            entry[1] += dur
+            entry[2] = max(entry[2], dur)
+    rows = []
+    for name in sorted(agg, key=lambda n: -agg[n][1]):
+        count, total, peak = agg[name]
+        rows.append([name, str(int(count)), f"{total * 1e3:.1f}",
+                     f"{total / count * 1e3:.3f}", f"{peak * 1e3:.3f}"])
+    return rows
+
+
+def _counter_rows(events: Iterable[dict]) -> list[list[str]]:
+    last = None
+    for ev in events:
+        if ev.get("type") == "counters":
+            last = ev
+    if last is None:
+        return []
+    skip = {"type", "ts"}
+    return [[key, _fmt(last[key], digits=0)]
+            for key in sorted(last) if key not in skip]
+
+
+def summarize_events(events: list[dict[str, Any]]) -> str:
+    """Render the trace as the standard three report tables."""
+    sections = []
+
+    seg_rows = _segment_rows(events)
+    if seg_rows:
+        sections.append(_format_table(
+            ["segment", "active", "kept/total", "kept-acc", "vote-margin",
+             "match-loss", "disc-loss", "alpha", "drift-L2", "retrain"],
+            seg_rows, title="Segments"))
+    else:
+        sections.append("Segments\n(no segment events in trace)")
+
+    span_rows = _span_rows(events)
+    if span_rows:
+        sections.append(_format_table(
+            ["span", "count", "total-ms", "mean-ms", "max-ms"],
+            span_rows, title="Span timings"))
+
+    counter_rows = _counter_rows(events)
+    if counter_rows:
+        sections.append(_format_table(["counter", "value"], counter_rows,
+                                     title="Runtime counters"))
+
+    meta = next((ev for ev in events if ev.get("type") == "run_start"), None)
+    header = []
+    if meta is not None:
+        cmd = meta.get("command", "?")
+        header.append(f"telemetry trace: command={cmd} "
+                      f"({len(events)} events)")
+    else:
+        header.append(f"telemetry trace: {len(events)} events")
+    return "\n\n".join(header + sections)
+
+
+def summarize_trace(path: str | pathlib.Path) -> str:
+    """Load a trace file/run directory and render the summary."""
+    return summarize_events(load_events(path))

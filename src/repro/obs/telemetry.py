@@ -1,0 +1,275 @@
+"""Process-wide telemetry registry: counters, gauges, histograms, spans.
+
+The observability layer has one hard requirement: when disabled (the
+default) it must cost essentially nothing on the condensation hot path —
+no allocations, no string formatting, no clock reads.  The design keeps
+every hot-path call to a single attribute check:
+
+* :func:`span` returns a module-level no-op singleton while disabled, so
+  ``with obs.span("pass.g_real"):`` allocates nothing;
+* :func:`counter` / :func:`gauge` / :func:`observe` return immediately on
+  the same check;
+* only :func:`enable` installs a sink and makes those calls live.
+
+When enabled, spans time themselves with ``perf_counter``, fold their
+duration into a bounded histogram aggregate (count/total/min/max — never a
+value list), and emit one record to the active sink.  Sinks are pluggable
+(:mod:`repro.obs.sinks`); the default run layout is one JSONL file with one
+record per event, consumed by :mod:`repro.obs.summary`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+from .sinks import EventSink, JsonlSink
+
+__all__ = [
+    "Telemetry",
+    "get_telemetry",
+    "enable",
+    "disable",
+    "enabled",
+    "span",
+    "counter",
+    "gauge",
+    "observe",
+    "event",
+    "snapshot",
+    "reset",
+    "shutdown",
+    "collect_runtime_counters",
+]
+
+
+class _NoopSpan:
+    """Shared do-nothing context manager handed out while disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+class _Span:
+    """A live, nestable timer: records a histogram sample and sink event."""
+
+    __slots__ = ("_registry", "name", "fields", "_t0", "depth")
+
+    def __init__(self, registry: "Telemetry", name: str,
+                 fields: dict[str, Any] | None) -> None:
+        self._registry = registry
+        self.name = name
+        self.fields = fields
+        self.depth = 0
+        self._t0 = 0.0
+
+    def __enter__(self) -> "_Span":
+        reg = self._registry
+        self.depth = reg._depth
+        reg._depth += 1
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        elapsed = time.perf_counter() - self._t0
+        reg = self._registry
+        reg._depth -= 1
+        reg.observe(f"span.{self.name}", elapsed)
+        record = {"type": "span", "name": self.name,
+                  "dur_s": elapsed, "depth": self.depth}
+        if self.fields:
+            record.update(self.fields)
+        reg.event_record(record)
+        return False
+
+
+class Telemetry:
+    """Registry of counters/gauges/histograms plus the active event sink."""
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.sink: EventSink | None = None
+        self.counters: dict[str, float] = {}
+        self.gauges: dict[str, float] = {}
+        # name -> [count, total, min, max]; bounded regardless of run length.
+        self.histograms: dict[str, list[float]] = {}
+        self._depth = 0
+
+    # -- lifecycle ---------------------------------------------------------
+    def enable(self, sink: EventSink | None = None) -> None:
+        self.enabled = True
+        if sink is not None:
+            self.sink = sink
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def shutdown(self) -> None:
+        """Flush and detach the sink, then disable."""
+        self.enabled = False
+        if self.sink is not None:
+            self.sink.close()
+            self.sink = None
+
+    def reset(self) -> None:
+        self.counters.clear()
+        self.gauges.clear()
+        self.histograms.clear()
+        self._depth = 0
+
+    # -- metrics -----------------------------------------------------------
+    def counter(self, name: str, value: float = 1.0) -> None:
+        if not self.enabled:
+            return
+        self.counters[name] = self.counters.get(name, 0.0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        if not self.enabled:
+            return
+        self.gauges[name] = float(value)
+
+    def observe(self, name: str, value: float) -> None:
+        """Fold one sample into the bounded histogram aggregate."""
+        if not self.enabled:
+            return
+        agg = self.histograms.get(name)
+        if agg is None:
+            self.histograms[name] = [1, value, value, value]
+        else:
+            agg[0] += 1
+            agg[1] += value
+            agg[2] = min(agg[2], value)
+            agg[3] = max(agg[3], value)
+
+    def span(self, name: str, **fields: Any) -> _Span | _NoopSpan:
+        """Nestable timer; a no-op singleton while disabled."""
+        if not self.enabled:
+            return _NOOP_SPAN
+        return _Span(self, name, fields or None)
+
+    # -- events ------------------------------------------------------------
+    def event(self, type_: str, **fields: Any) -> None:
+        if not self.enabled:
+            return
+        record = {"type": type_}
+        record.update(fields)
+        self.event_record(record)
+
+    def event_record(self, record: dict[str, Any]) -> None:
+        if not self.enabled or self.sink is None:
+            return
+        record.setdefault("ts", time.time())
+        self.sink.write(record)
+
+    # -- introspection -----------------------------------------------------
+    def snapshot(self) -> dict[str, Any]:
+        """Current registry contents as plain JSON-serializable dicts."""
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "histograms": {
+                name: {"count": int(agg[0]), "total": agg[1],
+                       "min": agg[2], "max": agg[3],
+                       "mean": agg[1] / agg[0] if agg[0] else float("nan")}
+                for name, agg in self.histograms.items()
+            },
+        }
+
+
+#: The process-wide registry used by the instrumented hot paths.
+_DEFAULT = Telemetry()
+
+
+def get_telemetry() -> Telemetry:
+    return _DEFAULT
+
+
+def enable(sink_or_dir: EventSink | str | None = None) -> Telemetry:
+    """Enable the default registry.
+
+    Accepts a ready sink, a run-directory path (a ``trace.jsonl`` sink is
+    created inside it), or ``None`` to enable metrics without an event sink.
+    """
+    if isinstance(sink_or_dir, (str,)) or hasattr(sink_or_dir, "__fspath__"):
+        _DEFAULT.enable(JsonlSink.for_run_dir(sink_or_dir))
+    else:
+        _DEFAULT.enable(sink_or_dir)
+    return _DEFAULT
+
+
+def disable() -> None:
+    _DEFAULT.disable()
+
+
+def shutdown() -> None:
+    _DEFAULT.shutdown()
+
+
+def enabled() -> bool:
+    return _DEFAULT.enabled
+
+
+def span(name: str, **fields: Any):
+    if not _DEFAULT.enabled:
+        return _NOOP_SPAN
+    return _DEFAULT.span(name, **fields)
+
+
+def counter(name: str, value: float = 1.0) -> None:
+    _DEFAULT.counter(name, value)
+
+
+def gauge(name: str, value: float) -> None:
+    _DEFAULT.gauge(name, value)
+
+
+def observe(name: str, value: float) -> None:
+    _DEFAULT.observe(name, value)
+
+
+def event(type_: str, **fields: Any) -> None:
+    _DEFAULT.event(type_, **fields)
+
+
+def snapshot() -> dict[str, Any]:
+    return _DEFAULT.snapshot()
+
+
+def reset() -> None:
+    _DEFAULT.reset()
+
+
+def collect_runtime_counters(registry: Telemetry | None = None, *,
+                             emit: bool = True) -> dict[str, float]:
+    """Pull the kernel-layer counters into the registry as gauges.
+
+    The plan cache and workspace arena are deliberately *not* instrumented
+    push-style — a counter increment per conv call would tax the hot path
+    even when idle.  Instead this snapshots :func:`plan_cache_info` and the
+    arena stats on demand (end of segment, end of run, benchmark epilogue)
+    and optionally emits one ``counters`` event to the sink.
+    """
+    from ..nn import kernels  # local import: obs must not import nn eagerly
+
+    registry = registry or _DEFAULT
+    values: dict[str, float] = {}
+    for key, val in kernels.plan_cache_info().items():
+        values[f"plan_cache.{key}"] = float(val)
+    for key, val in kernels.default_arena.stats().items():
+        if isinstance(val, bool):
+            val = int(val)
+        values[f"arena.{key}"] = float(val)
+    if registry.enabled:
+        for name, value in values.items():
+            registry.gauge(name, value)
+        if emit:
+            registry.event("counters", **values)
+    return values

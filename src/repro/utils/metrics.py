@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import math
+import warnings
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -23,10 +24,17 @@ def confusion_matrix(true_labels: np.ndarray, predicted_labels: np.ndarray,
 
 
 def mean_and_std(values: Sequence[float] | Iterable[float]) -> tuple[float, float]:
-    """Mean and (population) standard deviation of a value collection."""
+    """Mean and (population) standard deviation of a value collection.
+
+    An empty collection yields ``(nan, nan)`` with an explicit warning —
+    never numpy's bare "mean of empty slice" RuntimeWarning — so aggregate
+    reports over zero trials degrade to NaN cells instead of crashing.
+    """
     arr = np.asarray(list(values), dtype=np.float64)
     if arr.size == 0:
-        raise ValueError("mean_and_std of an empty collection")
+        warnings.warn("mean_and_std of an empty collection: returning NaN",
+                      RuntimeWarning, stacklevel=2)
+        return float("nan"), float("nan")
     return float(arr.mean()), float(arr.std())
 
 
@@ -50,6 +58,9 @@ class RunningMean:
 
     @property
     def mean(self) -> float:
+        """Mean so far; NaN (with a clear warning) before any observation."""
         if self.count == 0:
-            raise ValueError("RunningMean.mean with no observations")
+            warnings.warn("RunningMean.mean with no observations: "
+                          "returning NaN", RuntimeWarning, stacklevel=2)
+            return float("nan")
         return self.total / self.count

@@ -145,6 +145,35 @@ class TestPlanCache:
         assert a is b
         assert kernels.plan_cache_info()["hits"] >= 1
 
+    def test_repeated_conv_shapes_hit_the_cache(self, rng):
+        """The LRU must actually *hit* on the conv shapes the ops replay —
+        not merely stay bounded — and count evictions when it overflows."""
+        kernels.set_fast_kernels(True)
+        kernels.clear_plan_cache()
+        x = Tensor(rng.standard_normal((2, 3, 8, 8)).astype(np.float32))
+        w = Tensor(rng.standard_normal((4, 3, 3, 3)).astype(np.float32))
+        repeats = 4
+        for _ in range(repeats):
+            F.conv2d(x, w, stride=1, padding=1)
+        info = kernels.plan_cache_info()
+        assert info["misses"] == 1, info
+        assert info["hits"] == repeats - 1, info
+        assert info["evictions"] == 0, info
+        # hit rate for a steady-state shape must approach 1
+        assert info["hits"] / (info["hits"] + info["misses"]) >= 0.5
+
+    def test_eviction_counter_increments(self):
+        kernels.clear_plan_cache()
+        old_limit = kernels.plan_cache_info()["limit"]
+        try:
+            kernels.set_plan_cache_limit(2)
+            for n in range(1, 5):
+                kernels.get_conv_plan(n, 1, 6, 6, 3, 3, 1, 1)
+            assert kernels.plan_cache_info()["evictions"] == 2
+        finally:
+            kernels.set_plan_cache_limit(old_limit)
+            kernels.clear_plan_cache()
+
     def test_lru_evicts_oldest(self):
         kernels.clear_plan_cache()
         old_limit = kernels.plan_cache_info()["limit"]

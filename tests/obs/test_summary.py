@@ -1,0 +1,80 @@
+"""Tests for the JSONL trace summarizer (repro.obs.summary)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import (JsonlSink, load_events, summarize_events,
+                       summarize_trace)
+from repro.obs.sinks import TRACE_FILENAME
+
+SEGMENT_EVENT = {
+    "type": "segment", "segment": 3, "samples_seen": 40, "retrain": True,
+    "active_classes": [0, 2], "pseudo_labels_total": 10,
+    "pseudo_labels_kept": 7, "vote_margin": 0.15,
+    "pseudo_label_accuracy": 0.8, "retained_label_accuracy": 0.9,
+    "matching_loss": 12.5, "discrimination_loss": 0.4, "alpha": 0.1,
+    "buffer_drift_l2": 2.25, "condense_passes": 12,
+}
+
+
+def _events():
+    return [
+        {"type": "run_start", "command": "run", "profile": "micro", "seed": 0},
+        SEGMENT_EVENT,
+        {"type": "span", "name": "pass.g_real", "dur_s": 0.010, "depth": 2},
+        {"type": "span", "name": "pass.g_real", "dur_s": 0.030, "depth": 2},
+        {"type": "span", "name": "pass.fd_plus", "dur_s": 0.005, "depth": 2},
+        {"type": "counters", "plan_cache.hits": 10, "plan_cache.misses": 2,
+         "arena.high_water_bytes": 4096},
+    ]
+
+
+class TestSummarizeEvents:
+    def test_segment_table_rows(self):
+        text = summarize_events(_events())
+        assert "Segments" in text
+        assert "7/10" in text          # kept/total
+        assert "0,2" in text           # active classes
+        assert "12.5000" in text       # matching loss
+        assert "command=run" in text
+
+    def test_span_aggregation(self):
+        text = summarize_events(_events())
+        assert "Span timings" in text
+        # pass.g_real: 2 calls, 40 ms total, 20 ms mean, 30 ms max
+        row = next(line for line in text.splitlines()
+                   if line.startswith("pass.g_real"))
+        assert "2" in row and "40.0" in row and "20.000" in row
+
+    def test_counters_table(self):
+        text = summarize_events(_events())
+        assert "Runtime counters" in text
+        assert "plan_cache.hits" in text
+
+    def test_empty_trace_degrades_gracefully(self):
+        text = summarize_events([])
+        assert "no segment events" in text
+
+
+class TestLoadEvents:
+    def test_accepts_file_and_directory(self, tmp_path):
+        sink = JsonlSink.for_run_dir(tmp_path)
+        sink.write({"type": "segment", "segment": 0})
+        sink.close()
+        by_dir = load_events(tmp_path)
+        by_file = load_events(tmp_path / TRACE_FILENAME)
+        assert by_dir == by_file
+        assert by_dir[0]["segment"] == 0
+
+    def test_missing_trace_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_events(tmp_path / "nope")
+
+    def test_summarize_trace_end_to_end(self, tmp_path):
+        sink = JsonlSink.for_run_dir(tmp_path)
+        for ev in _events():
+            sink.write(ev)
+        sink.close()
+        text = summarize_trace(tmp_path)
+        assert "Segments" in text and "Runtime counters" in text

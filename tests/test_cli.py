@@ -28,6 +28,14 @@ class TestParser:
         assert args.dataset == "icub1"
         assert args.ipc == 3
 
+    def test_telemetry_flag_and_obs_subcommand(self):
+        args = build_parser().parse_args(
+            ["--telemetry", "/tmp/t", "run", "--ipc", "1"])
+        assert str(args.telemetry) == "/tmp/t"
+        args = build_parser().parse_args(["obs", "summarize", "trace.jsonl"])
+        assert args.command == "obs"
+        assert args.action == "summarize"
+
 
 class TestMain:
     def test_run_single_method(self, capsys):
@@ -62,3 +70,21 @@ class TestMain:
                      "--noise-rates", "0.0", "0.5"])
         assert code == 0
         assert "noise robustness" in capsys.readouterr().out
+
+    def test_telemetry_run_and_summarize(self, tmp_path, capsys):
+        run_dir = tmp_path / "trace"
+        code = main(["--profile", "micro", "--telemetry", str(run_dir),
+                     "run", "--method", "deco", "--dataset", "core50",
+                     "--ipc", "1"])
+        assert code == 0
+        assert (run_dir / "trace.jsonl").exists()
+        from repro import obs
+        assert not obs.enabled()  # main() shuts telemetry back down
+        capsys.readouterr()
+
+        code = main(["obs", "summarize", str(run_dir)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Segments" in out
+        assert "Span timings" in out
+        assert "plan_cache.hits" in out

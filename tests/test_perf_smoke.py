@@ -16,12 +16,14 @@ import time
 import numpy as np
 import pytest
 
+from repro import obs
 from repro.buffer.buffer import SyntheticBuffer
 from repro.condensation.one_step import OneStepMatcher
 from repro.nn import functional as F
 from repro.nn import kernels
 from repro.nn.convnet import ConvNet
 from repro.nn.tensor import Tensor
+from repro.obs import ListSink
 
 
 def _timed(fn):
@@ -77,3 +79,42 @@ def test_fast_conv_not_slower_than_seed():
     # The fast path wins ~3x here; allow wide headroom for noisy machines.
     assert fast <= seed * 1.5, (
         f"fast conv2d regressed: {fast * 1e3:.2f}ms vs seed {seed * 1e3:.2f}ms")
+
+
+@pytest.mark.perf_smoke
+def test_telemetry_overhead_on_condense_segment_is_small():
+    """A telemetry-enabled condense segment must stay within ~5% of the
+    disabled path (plus a small absolute allowance for timer noise on this
+    sub-100ms workload): spans are singleton no-ops when disabled, and
+    when enabled each pass adds only a clock read and one dict per event.
+    """
+    rng = np.random.default_rng(0)
+    buf = SyntheticBuffer(3, 2, (3, 8, 8))
+    buf.images[:] = rng.standard_normal(buf.images.shape).astype(np.float32)
+    real_x = rng.standard_normal((24, 3, 8, 8)).astype(np.float32)
+    real_y = rng.integers(0, 3, 24)
+    matcher = OneStepMatcher(iterations=4, alpha=0.1, batch_size=16)
+    factory = lambda r: ConvNet(3, 3, 8, width=8, depth=2, rng=r)
+    deployed = ConvNet(3, 3, 8, width=8, depth=2, rng=np.random.default_rng(5))
+
+    def segment():
+        matcher.condense(buf, [0, 1, 2], real_x, real_y, None,
+                         model_factory=factory,
+                         rng=np.random.default_rng(1),
+                         deployed_model=deployed)
+
+    obs.shutdown()
+    segment()  # warm up plans / arena before either timed mode
+    disabled_times, enabled_times = [], []
+    try:
+        for _ in range(5):  # interleave so drift hits both modes equally
+            obs.disable()
+            disabled_times.append(_timed(segment))
+            obs.enable(ListSink())
+            enabled_times.append(_timed(segment))
+    finally:
+        obs.shutdown()
+    disabled, enabled = min(disabled_times), min(enabled_times)
+    assert enabled <= disabled * 1.05 + 0.010, (
+        f"telemetry overhead too high: enabled {enabled * 1e3:.1f}ms vs "
+        f"disabled {disabled * 1e3:.1f}ms")

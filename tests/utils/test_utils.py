@@ -1,5 +1,7 @@
 """Unit tests for shared utilities (repro.utils)."""
 
+import warnings
+
 import numpy as np
 import pytest
 
@@ -45,9 +47,18 @@ class TestMetrics:
         assert mean == 2.0
         assert std == 1.0
 
-    def test_mean_and_std_empty_raises(self):
-        with pytest.raises(ValueError):
+    def test_mean_and_std_empty_returns_nan_with_warning(self):
+        with pytest.warns(RuntimeWarning, match="empty collection"):
+            mean, std = mean_and_std([])
+        assert np.isnan(mean) and np.isnan(std)
+
+    def test_mean_and_std_empty_no_bare_numpy_warning(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
             mean_and_std([])
+        messages = [str(w.message) for w in caught]
+        assert not any("empty slice" in m or "invalid value" in m
+                       for m in messages), messages
 
     def test_relative_improvement(self):
         assert relative_improvement(1.5, 1.0) == pytest.approx(50.0)
@@ -69,9 +80,9 @@ class TestMetrics:
         rm.update(5.0, weight=1.0)
         assert rm.mean == 2.0
 
-    def test_running_mean_empty_raises(self):
-        with pytest.raises(ValueError):
-            RunningMean().mean
+    def test_running_mean_empty_returns_nan_with_warning(self):
+        with pytest.warns(RuntimeWarning, match="no observations"):
+            assert np.isnan(RunningMean().mean)
 
 
 class TestBatching:
