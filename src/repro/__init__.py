@@ -15,7 +15,8 @@ pure-numpy substrate.  Top-level subpackages:
 
 __version__ = "1.0.0"
 
-from . import buffer, condensation, core, data, experiments, nn, obs, utils
+from . import (buffer, condensation, core, data, experiments, nn, obs,
+               parallel, utils)
 
 __all__ = ["nn", "data", "buffer", "condensation", "core", "experiments",
            "obs", "utils", "__version__"]

@@ -5,9 +5,12 @@ equivalent for this repo.  It runs, in order:
 
 1. the tier-1 test suite (``python -m pytest -q``);
 2. the ``perf_smoke`` wall-clock tripwires (``pytest -m perf_smoke``);
-3. a one-repeat pass of the micro-benchmarks (kernel cases + one condense
-   segment), which also refreshes the counter snapshots attached to
-   ``bench_results/micro_kernels.json``.
+3. the kernel + parallel suites again with the intra-op thread pool forced
+   on (``REPRO_NUM_THREADS=4``, ``REPRO_SHARD_MIN_BATCH=8``) so the
+   sharded code paths are covered even on single-core boxes;
+4. a one-repeat pass of the micro-benchmarks (kernel cases, one condense
+   segment, and the parallel scaling matrix), which also refreshes the
+   counter snapshots attached to ``bench_results/micro_kernels.json``.
 
 Steps 2-3 need the repo checkout (``tests/`` and ``benchmarks/`` are not
 installed); they are skipped with a notice when run from elsewhere.
@@ -37,12 +40,15 @@ def _repo_root() -> pathlib.Path | None:
     return None
 
 
-def _run(cmd: list[str], cwd: pathlib.Path, title: str) -> int:
+def _run(cmd: list[str], cwd: pathlib.Path, title: str,
+         extra_env: dict[str, str] | None = None) -> int:
     print(f"== {title}: {' '.join(cmd)}")
     env = dict(os.environ)
     src = str(cwd / "src")
     env["PYTHONPATH"] = (src + os.pathsep + env["PYTHONPATH"]
                          if env.get("PYTHONPATH") else src)
+    if extra_env:
+        env.update(extra_env)
     result = subprocess.run(cmd, cwd=cwd, env=env)
     status = "ok" if result.returncode == 0 else f"FAILED ({result.returncode})"
     print(f"== {title}: {status}\n")
@@ -71,6 +77,15 @@ def main(argv: list[str] | None = None) -> int:
                          "tier-1 tests") != 0
         failures += _run([sys.executable, "-m", "pytest", "-q",
                           "-m", "perf_smoke"], root, "perf smoke") != 0
+        # Parallel matrix leg: rerun the kernel + parallel suites with the
+        # intra-op pool forced on (4 threads, aggressive shard threshold) so
+        # the sharded code paths are exercised even where the default
+        # configuration would stay serial.
+        failures += _run([sys.executable, "-m", "pytest", "-q",
+                          "tests/parallel", "tests/nn"], root,
+                         "parallel matrix (threads=4)",
+                         extra_env={"REPRO_NUM_THREADS": "4",
+                                    "REPRO_SHARD_MIN_BATCH": "8"}) != 0
 
     if not args.skip_bench:
         bench_dir = root / "benchmarks" / "micro"
@@ -84,6 +99,10 @@ def main(argv: list[str] | None = None) -> int:
                               str(bench_dir / "bench_condense_step.py"),
                               "--repeats", repeats], root,
                              "micro-bench condense step") != 0
+            failures += _run([sys.executable,
+                              str(bench_dir / "bench_parallel.py"),
+                              "--repeats", repeats], root,
+                             "micro-bench parallel scaling") != 0
         else:
             print(f"== micro-bench: skipped (no {bench_dir})")
 

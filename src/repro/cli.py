@@ -48,6 +48,13 @@ def build_parser() -> argparse.ArgumentParser:
                         metavar="DIR",
                         help="record a JSONL telemetry trace of the run "
                              "into DIR/trace.jsonl")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for experiment grids "
+                             "(table1/table2/fig4a/fig4b/ablations); "
+                             "1 = run serially in-process (default)")
+    parser.add_argument("--threads", type=int, default=None, metavar="N",
+                        help="intra-op worker threads for batch-sharded "
+                             "kernels (default: REPRO_NUM_THREADS or 1)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     t1 = sub.add_parser("table1", help="Table I: accuracy comparison")
@@ -109,12 +116,13 @@ def _dispatch(args: argparse.Namespace) -> str:
                  else tuple(range(get_profile(args.profile).num_seeds)))
         result = run_table1(datasets=tuple(args.datasets),
                             ipcs=tuple(args.ipcs), profile=args.profile,
-                            seeds=seeds)
+                            seeds=seeds, jobs=args.jobs)
         return format_table1(result)
     if args.command == "table2":
         result = run_table2(ipcs=tuple(args.ipcs),
                             condensers=tuple(args.condensers),
-                            profile=args.profile, seed=args.seed)
+                            profile=args.profile, seed=args.seed,
+                            jobs=args.jobs)
         return format_table2(result)
     if args.command == "fig2":
         return format_fig2(run_fig2(profile=args.profile, seed=args.seed))
@@ -123,13 +131,15 @@ def _dispatch(args: argparse.Namespace) -> str:
                                     seed=args.seed))
     if args.command == "fig4a":
         return format_fig4a(run_fig4a(ipc=args.ipc, profile=args.profile,
-                                      seed=args.seed))
+                                      seed=args.seed, jobs=args.jobs))
     if args.command == "fig4b":
         return format_fig4b(run_fig4b(ipcs=tuple(args.ipcs),
-                                      profile=args.profile, seed=args.seed))
+                                      profile=args.profile, seed=args.seed,
+                                      jobs=args.jobs))
     if args.command == "ablations":
         return format_ablations(run_ablations(profile=args.profile,
-                                              seeds=(args.seed,)))
+                                              seeds=(args.seed,),
+                                              jobs=args.jobs))
     if args.command == "noise":
         from .experiments import format_noise_robustness, run_noise_robustness
         return format_noise_robustness(run_noise_robustness(
@@ -151,6 +161,9 @@ def _dispatch(args: argparse.Namespace) -> str:
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    if args.threads is not None:
+        from .parallel import intra_op
+        intra_op.set_num_threads(args.threads)
     tracing = args.telemetry is not None and args.command != "obs"
     if tracing:
         from . import obs

@@ -25,6 +25,7 @@ from ..nn import kernels
 from ..nn.layers import Module, frozen_parameters
 from ..nn.losses import cross_entropy, gradient_distance
 from ..nn.tensor import Tensor
+from ..nn.workspace import default_arena
 
 __all__ = [
     "parameter_gradients",
@@ -128,19 +129,33 @@ def finite_difference_matching_grad(model: Module, syn_x: np.ndarray,
         return np.zeros_like(np.asarray(syn_x, dtype=np.float32))
     eps = epsilon_numerator / norm
 
-    originals = [p.data.copy() for p in params]
+    # The perturbed passes never mutate parameter arrays in place (they only
+    # rebind ``p.data``), so the current arrays themselves are the exact
+    # restore points — no per-iteration snapshot copies needed.  The
+    # perturbed values go into arena scratch: ``buf = eps*d; buf += orig``
+    # and ``buf = eps*d; buf = orig - buf`` reproduce the former
+    # ``orig + eps*d`` / ``orig - eps*d`` bit for bit (float add is
+    # commutative; the subtraction is the identical operation).
+    originals = [p.data for p in params]
+    buffers = [default_arena.acquire(p.data.shape, np.float32) for p in params]
     try:
-        for p, d in zip(params, direction):
-            p.data = p.data + eps * d
+        for p, buf, orig, d in zip(params, buffers, originals, direction):
+            np.multiply(d, eps, out=buf)
+            buf += orig
+            p.data = buf
         with obs.span("pass.fd_plus"):
             grad_plus = input_gradient(model, syn_x, syn_y,
                                        augmentation=augmentation)
-        for p, orig, d in zip(params, originals, direction):
-            p.data = orig - eps * d
+        for p, buf, orig, d in zip(params, buffers, originals, direction):
+            np.multiply(d, eps, out=buf)
+            np.subtract(orig, buf, out=buf)
+            p.data = buf
         with obs.span("pass.fd_minus"):
             grad_minus = input_gradient(model, syn_x, syn_y,
                                         augmentation=augmentation)
     finally:
         for p, orig in zip(params, originals):
             p.data = orig
+        for buf in buffers:
+            default_arena.release(buf)
     return (grad_plus - grad_minus) / (2.0 * eps)

@@ -107,9 +107,12 @@ class OneStepMatcher(CondensationMethod):
         if buffer.num_classes < 2:
             return zero
         active_labels = buffer.labels[active_rows]
-        negatives = np.array([
-            int(rng.choice(np.delete(np.arange(buffer.num_classes), yi)))
-            for yi in active_labels])
+        # One uniform draw over C-1 "other" classes per sample: values >= the
+        # sample's own class shift up by one, which maps [0, C-1) onto
+        # {0..C-1} \ {y_i} without the per-sample delete/choice allocations.
+        draws = rng.integers(0, buffer.num_classes - 1,
+                             size=len(active_labels))
+        negatives = draws + (draws >= active_labels)
         involved = set(active_labels.tolist()) | set(negatives.tolist())
         rows = buffer.indices_for_classes(involved)
         position_of = {int(r): k for k, r in enumerate(rows)}

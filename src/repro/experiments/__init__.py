@@ -18,6 +18,7 @@ from .fig3 import (Fig3Result, LearningCurve, curve_smoothness, data_to_reach,
                    format_fig3, run_fig3)
 from .fig4 import (Fig4aResult, Fig4bResult, format_fig4a, format_fig4b,
                    run_fig4a, run_fig4b)
+from .grid import run_method_grid
 from .noise import (NoiseRobustnessResult, NoisyPseudoLabeler,
                     format_noise_robustness, run_noise_robustness)
 from .profiles import (PROFILE_NAMES, ExperimentProfile, get_profile,
@@ -26,7 +27,8 @@ from .table1 import Table1Result, format_table1, run_table1
 from .table2 import Table2Result, format_table2, run_table2
 
 __all__ = [
-    "prepare_experiment", "run_method", "run_seeds", "MethodResult",
+    "prepare_experiment", "run_method", "run_seeds", "run_method_grid",
+    "MethodResult",
     "PreparedExperiment", "METHOD_NAMES",
     "ExperimentProfile", "get_profile", "PROFILE_NAMES",
     "learning_rate", "pretrain_fraction", "stream_settings",

@@ -20,7 +20,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence
 
-from .common import prepare_experiment, run_method
+from .common import prepare_experiment
+from .grid import run_method_grid
 from .reporting import format_table
 
 __all__ = ["AblationResult", "run_ablations", "format_ablations",
@@ -58,15 +59,22 @@ class AblationResult:
 def run_ablations(*, dataset: str = "core50", ipc: int = 10,
                   variants: dict[str, dict] | None = None,
                   profile: str = "smoke",
-                  seeds: Sequence[int] = (0,)) -> AblationResult:
+                  seeds: Sequence[int] = (0,),
+                  jobs: int = 1) -> AblationResult:
     """Run DECO variants differing in exactly one design choice."""
     variants = variants if variants is not None else DEFAULT_VARIANTS
     prepared = prepare_experiment(dataset, profile, seed=0)
     result = AblationResult(dataset=dataset, ipc=ipc)
-    for name, kwargs in variants.items():
-        accs = [run_method(prepared, "deco", ipc, seed=s,
-                           condenser_kwargs=dict(kwargs)).final_accuracy
-                for s in seeds]
+    grid = [(name, dict(kwargs), s)
+            for name, kwargs in variants.items() for s in seeds]
+    runs = run_method_grid(
+        prepared,
+        [{"method": "deco", "ipc": ipc, "seed": s,
+          "condenser_kwargs": kwargs} for _, kwargs, s in grid],
+        jobs=jobs)
+    for name in variants:
+        accs = [run.final_accuracy
+                for (gname, _, _), run in zip(grid, runs) if gname == name]
         result.accuracy[name] = sum(accs) / len(accs)
     return result
 

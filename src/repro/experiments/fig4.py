@@ -17,7 +17,8 @@ from typing import Sequence
 
 import numpy as np
 
-from .common import prepare_experiment, run_method
+from .common import prepare_experiment
+from .grid import run_method_grid
 from .reporting import format_table
 
 __all__ = ["Fig4aPoint", "Fig4aResult", "run_fig4a", "format_fig4a",
@@ -52,13 +53,17 @@ class Fig4aResult:
 
 def run_fig4a(*, dataset: str = "core50", ipc: int = 10,
               thresholds: Sequence[float] = DEFAULT_THRESHOLDS,
-              profile: str = "smoke", seed: int = 0) -> Fig4aResult:
+              profile: str = "smoke", seed: int = 0,
+              jobs: int = 1) -> Fig4aResult:
     """Sweep the majority-voting threshold ``m``."""
     prepared = prepare_experiment(dataset, profile, seed=0)
     result = Fig4aResult(dataset=dataset)
-    for m in thresholds:
-        run = run_method(prepared, "deco", ipc, seed=seed,
-                         labeler_threshold=m)
+    runs = run_method_grid(
+        prepared,
+        [{"method": "deco", "ipc": ipc, "seed": seed,
+          "labeler_threshold": float(m)} for m in thresholds],
+        jobs=jobs)
+    for m, run in zip(thresholds, runs):
         retained = [d["retained_fraction"] for d in run.history.diagnostics
                     if "retained_fraction" in d]
         label_acc = [d["retained_label_accuracy"] for d in run.history.diagnostics
@@ -99,16 +104,20 @@ class Fig4bResult:
 def run_fig4b(*, dataset: str = "cifar100",
               alphas: Sequence[float] = DEFAULT_ALPHAS,
               ipcs: Sequence[int] = (5, 10),
-              profile: str = "smoke", seed: int = 0) -> Fig4bResult:
+              profile: str = "smoke", seed: int = 0,
+              jobs: int = 1) -> Fig4bResult:
     """Sweep the feature-discrimination weight ``alpha``."""
     prepared = prepare_experiment(dataset, profile, seed=0)
     result = Fig4bResult(dataset=dataset, alphas=tuple(alphas),
                          ipcs=tuple(ipcs))
-    for ipc in ipcs:
-        for alpha in alphas:
-            run = run_method(prepared, "deco", ipc, seed=seed,
-                             condenser_kwargs={"alpha": float(alpha)})
-            result.accuracy[(float(alpha), ipc)] = run.final_accuracy
+    grid = [(ipc, float(alpha)) for ipc in ipcs for alpha in alphas]
+    runs = run_method_grid(
+        prepared,
+        [{"method": "deco", "ipc": ipc, "seed": seed,
+          "condenser_kwargs": {"alpha": alpha}} for ipc, alpha in grid],
+        jobs=jobs)
+    for (ipc, alpha), run in zip(grid, runs):
+        result.accuracy[(alpha, ipc)] = run.final_accuracy
     return result
 
 

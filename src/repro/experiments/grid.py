@@ -1,0 +1,127 @@
+"""Fan experiment grid points out through the Layer-2 sweep executor.
+
+Every table/figure runner reduces to "run :func:`~repro.experiments.common.
+run_method` once per grid point on a shared :class:`~repro.experiments.
+common.PreparedExperiment`".  :func:`run_method_grid` is that loop with an
+optional ``jobs=N`` escape hatch: with ``jobs=1`` (the default) it *is* the
+serial loop, byte for byte; with ``jobs>1`` it ships the prepared
+experiment's arrays (dataset splits, pretrain subset, pre-trained model
+weights) to worker processes once via :class:`repro.parallel.SharedArrayPack`
+and runs the grid points concurrently, returning results in grid order.
+
+Workers rebuild an identical ``PreparedExperiment`` from the shared block —
+identical array bytes, identical model parameters — so a grid point
+produces bit-identical results whichever process runs it; only wall-clock
+changes with ``jobs``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..parallel import run_sweep
+from .common import (MethodResult, PreparedExperiment, prepare_experiment,
+                     run_method)
+
+__all__ = ["run_method_grid", "pack_prepared", "rebuild_prepared"]
+
+
+def pack_prepared(prepared: PreparedExperiment):
+    """Split a prepared experiment into (big arrays, small picklable context).
+
+    The arrays dict feeds :class:`~repro.parallel.SharedArrayPack`; the
+    context dict travels through the pool initializer.  Model parameters go
+    through the arrays dict too (prefixed ``param.``) so nothing heavier
+    than metadata is ever pickled per task.
+    """
+    ds = prepared.dataset
+    arrays = {
+        "x_train": ds.x_train,
+        "y_train": ds.y_train,
+        "train_sessions": ds.train_sessions,
+        "x_test": ds.x_test,
+        "y_test": ds.y_test,
+        "group_of": ds.group_of,
+        "pretrain_x": prepared.pretrain_x,
+        "pretrain_y": prepared.pretrain_y,
+    }
+    has_prototypes = ds.prototypes is not None
+    if has_prototypes:
+        arrays["prototypes"] = ds.prototypes
+    state = prepared.model.state_dict()
+    for name, value in state.items():
+        arrays["param." + name] = value
+    context = {
+        "dataset_name": prepared.dataset_name,
+        "profile_name": prepared.profile.name,
+        "spec": ds.spec,
+        "pretrain_accuracy": prepared.pretrain_accuracy,
+        "param_names": list(state),
+        "has_prototypes": has_prototypes,
+    }
+    return arrays, context
+
+
+def rebuild_prepared(context: dict, arrays) -> PreparedExperiment:
+    """Reconstruct the prepared experiment inside a worker process.
+
+    The dataset wraps the shared read-only views directly (every consumer
+    copies out of them); model parameters are copied because training
+    mutates them.
+    """
+    from ..data.datasets import SyntheticImageDataset
+    from ..nn.convnet import ConvNet
+    from .profiles import get_profile
+
+    profile = get_profile(context["profile_name"])
+    ds = SyntheticImageDataset(
+        spec=context["spec"],
+        x_train=arrays["x_train"],
+        y_train=arrays["y_train"],
+        train_sessions=arrays["train_sessions"],
+        x_test=arrays["x_test"],
+        y_test=arrays["y_test"],
+        group_of=arrays["group_of"],
+        prototypes=arrays["prototypes"] if context["has_prototypes"] else None)
+    model = ConvNet(ds.channels, ds.num_classes, ds.image_size,
+                    width=profile.model_width, depth=profile.model_depth,
+                    rng=np.random.default_rng(0))
+    model.load_state_dict({name: np.asarray(arrays["param." + name])
+                           for name in context["param_names"]})
+    return PreparedExperiment(
+        dataset_name=context["dataset_name"], profile=profile, dataset=ds,
+        model=model, pretrain_x=arrays["pretrain_x"],
+        pretrain_y=arrays["pretrain_y"],
+        pretrain_accuracy=context["pretrain_accuracy"])
+
+
+# One rebuild per worker process per prepared experiment, reused across the
+# grid points that land on that worker.
+_WORKER_CACHE: dict[tuple[str, str], PreparedExperiment] = {}
+
+
+def _grid_worker(config: dict, context: dict, arrays) -> MethodResult:
+    key = (context["dataset_name"], context["profile_name"])
+    prepared = _WORKER_CACHE.get(key)
+    if prepared is None:
+        prepared = rebuild_prepared(context, arrays)
+        _WORKER_CACHE[key] = prepared
+    return run_method(prepared, **config)
+
+
+def run_method_grid(prepared: PreparedExperiment, configs, *,
+                    jobs: int = 1) -> list[MethodResult]:
+    """Run ``run_method(prepared, **config)`` per config, in config order.
+
+    ``jobs=1`` executes the exact serial loop in-process.  ``jobs>1`` fans
+    the grid out to worker processes; a failing grid point raises
+    :class:`~repro.parallel.SweepTaskError` carrying its config and the
+    worker traceback.
+    """
+    configs = [dict(c) for c in configs]
+    if jobs <= 1 or len(configs) <= 1:
+        return [run_method(prepared, **c) for c in configs]
+    arrays, context = pack_prepared(prepared)
+    outcomes = run_sweep(_grid_worker, configs, jobs=jobs, arrays=arrays,
+                         context=context)
+    return [o.result for o in outcomes]

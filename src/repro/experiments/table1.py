@@ -16,7 +16,8 @@ import numpy as np
 
 from ..buffer.selection import STRATEGY_NAMES
 from ..utils.metrics import mean_and_std, relative_improvement
-from .common import prepare_experiment, run_method
+from .common import prepare_experiment
+from .grid import run_method_grid
 from .reporting import format_mean_std, format_table
 
 __all__ = ["Table1Cell", "Table1Result", "run_table1", "format_table1",
@@ -74,23 +75,34 @@ def run_table1(*, datasets: Sequence[str] = DEFAULT_DATASETS,
                baselines: Sequence[str] = STRATEGY_NAMES,
                profile: str = "smoke",
                seeds: Sequence[int] = (0,),
-               include_upper_bound: bool = True) -> Table1Result:
-    """Regenerate Table I (or any subset of it)."""
+               include_upper_bound: bool = True,
+               jobs: int = 1) -> Table1Result:
+    """Regenerate Table I (or any subset of it); ``jobs>1`` runs each
+    dataset's (ipc, method, seed) grid in parallel worker processes."""
     result = Table1Result(datasets=tuple(datasets), ipcs=tuple(ipcs),
                           baselines=tuple(baselines))
     for dataset in datasets:
         prepared = prepare_experiment(dataset, profile, seed=0)
-        for ipc in ipcs:
-            for method in list(baselines) + ["deco"]:
-                cell = Table1Cell()
-                for seed in seeds:
-                    run = run_method(prepared, method, ipc, seed=seed)
-                    cell.accuracies.append(run.final_accuracy)
-                result.cells[(dataset, ipc, method)] = cell
+        grid = [(ipc, method, seed)
+                for ipc in ipcs
+                for method in list(baselines) + ["deco"]
+                for seed in seeds]
         if include_upper_bound:
-            ub = [run_method(prepared, "upper_bound", 1, seed=s).final_accuracy
-                  for s in seeds[:1]]
-            result.upper_bounds[dataset] = float(np.mean(ub))
+            grid += [(1, "upper_bound", s) for s in seeds[:1]]
+        runs = run_method_grid(
+            prepared,
+            [{"method": method, "ipc": ipc, "seed": seed}
+             for ipc, method, seed in grid],
+            jobs=jobs)
+        ub_accs = []
+        for (ipc, method, seed), run in zip(grid, runs):
+            if method == "upper_bound":
+                ub_accs.append(run.final_accuracy)
+                continue
+            cell = result.cells.setdefault((dataset, ipc, method), Table1Cell())
+            cell.accuracies.append(run.final_accuracy)
+        if include_upper_bound:
+            result.upper_bounds[dataset] = float(np.mean(ub_accs))
     return result
 
 

@@ -12,7 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence
 
-from .common import prepare_experiment, run_method
+from .common import prepare_experiment
+from .grid import run_method_grid
 from .reporting import format_table
 
 __all__ = ["Table2Entry", "Table2Result", "run_table2", "format_table2",
@@ -53,20 +54,25 @@ class Table2Result:
 def run_table2(*, dataset: str = "core50",
                ipcs: Sequence[int] = (1, 5, 10, 50),
                condensers: Sequence[str] = DEFAULT_CONDENSERS,
-               profile: str = "smoke", seed: int = 0) -> Table2Result:
-    """Regenerate Table II (or a subset)."""
+               profile: str = "smoke", seed: int = 0,
+               jobs: int = 1) -> Table2Result:
+    """Regenerate Table II (or a subset); ``jobs>1`` runs grid points in
+    parallel worker processes."""
     prepared = prepare_experiment(dataset, profile, seed=0)
     result = Table2Result(condensers=tuple(condensers), ipcs=tuple(ipcs),
                           dataset=dataset)
-    for condenser in condensers:
-        for ipc in ipcs:
-            run = run_method(prepared, "deco", ipc, seed=seed,
-                             condenser_name=condenser)
-            result.entries[(condenser, ipc)] = Table2Entry(
-                condenser=condenser, ipc=ipc,
-                seconds=run.condense_seconds,
-                accuracy=run.final_accuracy,
-                passes=run.condense_passes)
+    grid = [(condenser, ipc) for condenser in condensers for ipc in ipcs]
+    runs = run_method_grid(
+        prepared,
+        [{"method": "deco", "ipc": ipc, "seed": seed,
+          "condenser_name": condenser} for condenser, ipc in grid],
+        jobs=jobs)
+    for (condenser, ipc), run in zip(grid, runs):
+        result.entries[(condenser, ipc)] = Table2Entry(
+            condenser=condenser, ipc=ipc,
+            seconds=run.condense_seconds,
+            accuracy=run.final_accuracy,
+            passes=run.condense_passes)
     return result
 
 

@@ -19,6 +19,7 @@ from __future__ import annotations
 import numpy as np
 
 from . import kernels, reference
+from ..parallel import intra_op
 from .tensor import Tensor
 from .workspace import default_arena
 
@@ -68,13 +69,39 @@ def conv2d(x: Tensor, weight: Tensor, bias: Tensor | None = None, *,
         return reference.conv2d(x, weight, bias, stride=stride, padding=padding)
 
     plan = kernels.get_conv_plan(n, c, h, w, kh, kw, stride, padding)
-    cols6 = kernels.im2col(_f32(x.data), plan,       # arena buffer (N,C,KH,KW,OH,OW)
-                           ckk=plan.ckk_safe(oc))
-    cols = cols6.reshape(plan.cols_shape)            # (N, CKK, L) view
+    ckk = plan.ckk_safe(oc)
+    xd = _f32(x.data)
     w2 = weight.data.reshape(oc, -1)                 # (OC, CKK)
-    # Seed-exact contraction (including output memory layout — downstream
-    # float32 reductions are layout-sensitive); only the path search is cached.
-    out = np.einsum("ok,nkl->nol", w2, cols, optimize=plan.fwd_path(w2, cols))
+    bounds = intra_op.shard_bounds(n)
+    if bounds is not None and not plan.shard_safe(oc, ckk, len(bounds)):
+        intra_op.note_serial_fallback()
+        bounds = None
+    if bounds is None:
+        cols6 = kernels.im2col(xd, plan, ckk=ckk)    # arena buffer (N,C,KH,KW,OH,OW)
+        cols = cols6.reshape(plan.cols_shape)        # (N, CKK, L) view
+        # Seed-exact contraction (including output memory layout — downstream
+        # float32 reductions are layout-sensitive); only the path search is cached.
+        out = np.einsum("ok,nkl->nol", w2, cols,
+                        optimize=plan.fwd_path(w2, cols))
+    else:
+        cols6 = kernels.alloc_cols(plan, xd.dtype, ckk=ckk)
+        cols = cols6.reshape(plan.cols_shape)
+        # Allocate the contraction output in the exact memory layout the
+        # serial einsum would return (often an (n, l, o)-major transpose):
+        # downstream reductions are layout-sensitive, so matching values is
+        # not enough — the strides must match too.
+        shape3 = (n, oc, plan.oh * plan.ow)
+        order = plan.fwd_out_order(oc, ckk, len(bounds))
+        mem = np.empty(tuple(shape3[i] for i in order), dtype=np.float32)
+        out = mem.transpose(tuple(int(i) for i in np.argsort(order)))
+        fpath = plan.fwd_path(w2, cols)
+
+        def fwd_shard(a: int, b: int) -> None:
+            kernels.im2col_fill(xd, plan, cols6, a, b, intra_op.thread_arena())
+            np.einsum("ok,nkl->nol", w2, cols[a:b], out=out[a:b],
+                      optimize=fpath)
+
+        intra_op.run_sharded(fwd_shard, bounds)
     out = out.reshape(n, oc, plan.oh, plan.ow)
     if bias is not None:
         # In-place on the (freshly owned) contraction output: same values,
@@ -92,9 +119,29 @@ def conv2d(x: Tensor, weight: Tensor, bias: Tensor | None = None, *,
                            optimize=plan.dw_path(gflat, cols))
             weight._accumulate(_f32(dw).reshape(weight.shape), own=True)
         if x.requires_grad:
-            dcols = np.einsum("ok,nol->nkl", w2, gflat,
-                              optimize=plan.dcols_path(w2, gflat))
-            x._accumulate(kernels.col2im(dcols, plan), own=True)
+            bwd_bounds = intra_op.shard_bounds(n)
+            if bwd_bounds is not None and not (
+                    kernels.scatter_mode() == "slices"
+                    and plan.shard_safe(oc, ckk, len(bwd_bounds))):
+                intra_op.note_serial_fallback()
+                bwd_bounds = None
+            if bwd_bounds is None:
+                dcols = np.einsum("ok,nol->nkl", w2, gflat,
+                                  optimize=plan.dcols_path(w2, gflat))
+                x._accumulate(kernels.col2im(dcols, plan), own=True)
+            else:
+                dcols = default_arena.acquire(plan.cols_shape, np.float32)
+                dx = np.zeros((n, c, h, w), dtype=np.float32)
+                dpath = plan.dcols_path(w2, gflat)
+
+                def bwd_shard(a: int, b: int) -> None:
+                    np.einsum("ok,nol->nkl", w2, gflat[a:b],
+                              out=dcols[a:b], optimize=dpath)
+                    kernels.col2im_add(dcols, plan, dx, a, b)
+
+                intra_op.run_sharded(bwd_shard, bwd_bounds)
+                default_arena.release(dcols)
+                x._accumulate(dx, own=True)
         default_arena.release(cols6)
 
     out_t = Tensor._make(_f32(out), parents, "conv2d", backward)
@@ -143,22 +190,63 @@ def max_pool2d(x: Tensor, kernel_size: int = 2) -> Tensor:
     if h % k or w % k:
         raise ValueError(f"max_pool2d: spatial dims ({h},{w}) not divisible by {k}")
     oh, ow = h // k, w // k
-    windows = np.ascontiguousarray(
-        x.data.reshape(n, c, oh, k, ow, k).transpose(0, 1, 2, 4, 3, 5)
-    ).reshape(n, c, oh, ow, k * k)
-    idx = windows.argmax(axis=-1)
-    out = np.take_along_axis(windows, idx[..., None], axis=-1)[..., 0]
-    # Compact retention: one small integer per output pixel.
-    idx = idx.astype(np.uint8 if k * k <= 255 else np.int32)
+    kk = k * k
+    idx_dtype = np.uint8 if kk <= 255 else np.int32
+    bounds = intra_op.shard_bounds(n)
+    if bounds is None:
+        windows = np.ascontiguousarray(
+            x.data.reshape(n, c, oh, k, ow, k).transpose(0, 1, 2, 4, 3, 5)
+        ).reshape(n, c, oh, ow, kk)
+        idx = windows.argmax(axis=-1)
+        out = np.take_along_axis(windows, idx[..., None], axis=-1)[..., 0]
+        # Compact retention: one small integer per output pixel.
+        idx = idx.astype(idx_dtype)
+    else:
+        # Per-window argmax/gather is batch-elementwise, so disjoint batch
+        # spans compose to exactly the serial result.
+        xd = x.data
+        out = np.empty((n, c, oh, ow), dtype=xd.dtype)
+        idx = np.empty((n, c, oh, ow), dtype=idx_dtype)
+
+        def pool_shard(a: int, b: int) -> None:
+            arena = intra_op.thread_arena()
+            win = arena.acquire((b - a, c, oh, ow, kk), xd.dtype)
+            np.copyto(
+                win.reshape(b - a, c, oh, ow, k, k),
+                xd[a:b].reshape(b - a, c, oh, k, ow, k).transpose(0, 1, 2, 4, 3, 5))
+            loc = win.argmax(axis=-1)
+            out[a:b] = np.take_along_axis(win, loc[..., None], axis=-1)[..., 0]
+            idx[a:b] = loc
+            arena.release(win)
+
+        intra_op.run_sharded(pool_shard, bounds)
 
     def backward(g: np.ndarray) -> None:
         if x.requires_grad:
-            buf = np.zeros((n, c, oh, ow, k * k), dtype=np.float32)
-            np.put_along_axis(buf, idx[..., None].astype(np.int64),
-                              _f32(np.asarray(g))[..., None], axis=-1)
-            grad = np.ascontiguousarray(
-                buf.reshape(n, c, oh, ow, k, k).transpose(0, 1, 2, 4, 3, 5)
-            ).reshape(n, c, h, w)
+            g32 = _f32(np.asarray(g))
+            bwd_bounds = intra_op.shard_bounds(n)
+            if bwd_bounds is None:
+                buf = np.zeros((n, c, oh, ow, kk), dtype=np.float32)
+                np.put_along_axis(buf, idx[..., None].astype(np.int64),
+                                  g32[..., None], axis=-1)
+                grad = np.ascontiguousarray(
+                    buf.reshape(n, c, oh, ow, k, k).transpose(0, 1, 2, 4, 3, 5)
+                ).reshape(n, c, h, w)
+            else:
+                grad = np.empty((n, c, h, w), dtype=np.float32)
+
+                def pool_bwd_shard(a: int, b: int) -> None:
+                    arena = intra_op.thread_arena()
+                    buf = arena.acquire((b - a, c, oh, ow, kk), np.float32,
+                                        zero=True)
+                    np.put_along_axis(buf, idx[a:b][..., None].astype(np.int64),
+                                      g32[a:b][..., None], axis=-1)
+                    np.copyto(
+                        grad[a:b].reshape(b - a, c, oh, k, ow, k),
+                        buf.reshape(b - a, c, oh, ow, k, k).transpose(0, 1, 2, 4, 3, 5))
+                    arena.release(buf)
+
+                intra_op.run_sharded(pool_bwd_shard, bwd_bounds)
             x._accumulate(grad, own=True)
 
     return Tensor._make(_f32(out), (x,), "max_pool2d", backward)
@@ -333,10 +421,30 @@ def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
     if not kernels.fast_kernels_enabled():
         return reference.log_softmax(x, axis=axis)
     xd = _f32(x.data)
-    out = xd - xd.max(axis=axis, keepdims=True)
-    e = np.exp(out)
-    out -= np.log(e.sum(axis=axis, keepdims=True))
-    softmax_vals = np.exp(out)
+    ax = axis if axis >= 0 else xd.ndim + axis
+    bounds = None
+    if ax == xd.ndim - 1 and xd.ndim >= 2 and xd.size >= 32768:
+        # Row-wise over the trailing axis: every batch row reduces
+        # independently, so batch shards reproduce the serial bits.  The
+        # size floor keeps classifier-head-sized inputs off the pool.
+        bounds = intra_op.shard_bounds(xd.shape[0])
+    if bounds is None:
+        out = xd - xd.max(axis=axis, keepdims=True)
+        e = np.exp(out)
+        out -= np.log(e.sum(axis=axis, keepdims=True))
+        softmax_vals = np.exp(out)
+    else:
+        out = np.empty_like(xd)
+        softmax_vals = np.empty_like(xd)
+
+        def ls_shard(a: int, b: int) -> None:
+            o = out[a:b]
+            np.subtract(xd[a:b], xd[a:b].max(axis=-1, keepdims=True), out=o)
+            e = np.exp(o)
+            o -= np.log(e.sum(axis=-1, keepdims=True))
+            np.exp(o, out=softmax_vals[a:b])
+
+        intra_op.run_sharded(ls_shard, bounds)
 
     def backward(g: np.ndarray) -> None:
         if x.requires_grad:

@@ -44,7 +44,10 @@ __all__ = [
     "clear_plan_cache",
     "set_plan_cache_limit",
     "im2col",
+    "alloc_cols",
+    "im2col_fill",
     "col2im",
+    "col2im_add",
     "im2col_reference",
     "col2im_reference",
     "fast_kernels_enabled",
@@ -121,7 +124,7 @@ class ConvPlan:
         "hp", "wp", "oh", "ow", "cols_shape6", "cols_shape",
         "slices",
         "_scatter_index", "_fwd_path", "_dw_path", "_dcols_path",
-        "_ckk_safe",
+        "_ckk_safe", "_shard_safe", "_fwd_out_order",
     )
 
     def __init__(self, n: int, c: int, h: int, w: int, kh: int, kw: int,
@@ -143,6 +146,8 @@ class ConvPlan:
         self._dw_path = None
         self._dcols_path = None
         self._ckk_safe: dict[int, bool] = {}
+        self._shard_safe: dict[tuple, bool] = {}
+        self._fwd_out_order: dict[tuple, tuple[int, ...]] = {}
 
     # -- scatter tables ----------------------------------------------------
     def _build_slices(self):
@@ -267,6 +272,79 @@ class ConvPlan:
         self._ckk_safe[oc] = safe
         return safe
 
+    # -- batch-shard decomposition probe -----------------------------------
+    def shard_safe(self, oc: int, ckk: bool, nshards: int) -> bool:
+        """Whether splitting the batch axis into ``nshards`` is bit-safe.
+
+        The sharded conv paths compute the forward (``ok,nkl->nol``) and
+        input-gradient (``ok,nol->nkl``) contractions per batch shard with
+        ``out=`` slices of a preallocated result.  Each shard's float32
+        reduction runs over exactly the same ``k`` (resp. ``o``) extent as
+        the full contraction, so the summation order *should* be unchanged —
+        but as with :meth:`ckk_safe` we refuse to mirror einsum's internal
+        dispatch heuristics and instead verify on deterministic random
+        operands in the actual column layout.  A failed probe sends the
+        shape down the serial path (recorded via
+        ``parallel.serial_fallbacks``); the verdict is cached per
+        ``(oc, ckk, nshards)``.
+        """
+        key = (oc, bool(ckk), int(nshards))
+        cached = self._shard_safe.get(key)
+        if cached is not None:
+            return cached
+        from ..parallel.intra_op import even_bounds
+        n = self.n
+        k = self.c * self.kh * self.kw
+        l = self.oh * self.ow
+        rng = np.random.default_rng(0x51A6D)
+        w2 = rng.standard_normal((oc, k)).astype(np.float32)
+        cols = rng.standard_normal((n, k, l)).astype(np.float32)
+        if ckk:
+            knl = np.empty((k, n, l), dtype=np.float32)
+            np.copyto(knl.transpose(1, 0, 2), cols)
+            cols = knl.transpose(1, 0, 2)  # logical (n, k, l), KNL-major
+        bounds = even_bounds(n, nshards)
+        full = np.einsum("ok,nkl->nol", w2, cols,
+                         optimize=self.fwd_path(w2, cols))
+        # The serial contraction is free to return its result in whatever
+        # memory layout the chosen path produces (the BLAS route hands back
+        # an (n, l, o)-major transpose, the direct route a C-contiguous
+        # array).  Downstream float32 reductions (e.g. instance-norm means)
+        # are layout-sensitive, so the sharded path must reproduce this
+        # exact layout — record it, and probe with a matching buffer.
+        order = tuple(int(i) for i in
+                      np.argsort([-s for s in full.strides], kind="stable"))
+        shard = np.empty_like(full)
+        for a, b in bounds:
+            np.einsum("ok,nkl->nol", w2, cols[a:b], out=shard[a:b],
+                      optimize=self.fwd_path(w2, cols))
+        safe = np.array_equal(full, shard)
+        if safe:
+            g = rng.standard_normal((n, oc, l)).astype(np.float32)
+            dfull = np.einsum("ok,nol->nkl", w2, g,
+                              optimize=self.dcols_path(w2, g))
+            # The sharded backward writes into a C-contiguous arena buffer
+            # (its consumer, the slice scatter, is layout-independent), so
+            # probe with a C-contiguous out — not ``empty_like``.
+            dshard = np.empty(dfull.shape, dtype=dfull.dtype)
+            for a, b in bounds:
+                np.einsum("ok,nol->nkl", w2, g[a:b], out=dshard[a:b],
+                          optimize=self.dcols_path(w2, g))
+            safe = np.array_equal(dfull, dshard)
+        self._shard_safe[key] = safe
+        self._fwd_out_order[key] = order
+        return safe
+
+    def fwd_out_order(self, oc: int, ckk: bool, nshards: int) -> tuple[int, ...]:
+        """Axis order (slowest to fastest stride) of the serial forward
+        contraction's output, recorded by :meth:`shard_safe`.  The sharded
+        forward allocates its ``(n, oc, l)`` result in exactly this layout so
+        downstream layout-sensitive reductions see bit-identical inputs."""
+        key = (oc, bool(ckk), int(nshards))
+        if key not in self._fwd_out_order:
+            self.shard_safe(oc, ckk, nshards)
+        return self._fwd_out_order[key]
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"ConvPlan(n={self.n}, c={self.c}, hw=({self.h},{self.w}), "
                 f"k=({self.kh},{self.kw}), stride={self.stride}, pad={self.pad})")
@@ -346,30 +424,55 @@ def im2col(x: np.ndarray, plan: ConvPlan, arena=default_arena, *,
     when the columns are no longer needed (typically at the end of conv
     backward).
     """
+    buf = alloc_cols(plan, x.dtype, ckk=ckk, arena=arena)
+    im2col_fill(x, plan, buf, 0, plan.n, arena)
+    return buf
+
+
+def alloc_cols(plan: ConvPlan, dtype, *, ckk: bool = False,
+               arena=default_arena) -> np.ndarray:
+    """Acquire an unfilled (n, c, kh, kw, oh, ow) column buffer.
+
+    Same layout contract as :func:`im2col` (``ckk=True`` stores the memory
+    KNL-major); used by the sharded conv path, which allocates once and has
+    each shard fill its own batch span via :func:`im2col_fill`.
+    """
+    if ckk:
+        c, kh, kw = plan.c, plan.kh, plan.kw
+        mem = arena.acquire((c, kh, kw, plan.n, plan.oh, plan.ow), dtype)
+        return mem.transpose(3, 0, 1, 2, 4, 5)  # logical (n, c, kh, kw, oh, ow)
+    return arena.acquire(plan.cols_shape6, dtype)
+
+
+def im2col_fill(x: np.ndarray, plan: ConvPlan, buf6: np.ndarray,
+                n0: int, n1: int, arena=default_arena) -> None:
+    """Fill batch rows ``[n0, n1)`` of a cols6 buffer from ``x[n0:n1]``.
+
+    Pure elementwise copy into a disjoint batch span, so concurrent calls
+    on non-overlapping spans are race-free and the assembled buffer is
+    bit-identical to a single full-range fill.  Padded geometries draw
+    their shard-sized padded canvas from ``arena`` (the caller passes the
+    executing thread's arena on the sharded path).
+    """
     p, s = plan.pad, plan.stride
+    sn = n1 - n0
+    xs = x[n0:n1]
     if p:
-        xp = arena.acquire((plan.n, plan.c, plan.hp, plan.wp), x.dtype)
+        xp = arena.acquire((sn, plan.c, plan.hp, plan.wp), x.dtype)
         xp[:, :, :p, :] = 0
         xp[:, :, plan.h + p:, :] = 0
         xp[:, :, p:plan.h + p, :p] = 0
         xp[:, :, p:plan.h + p, plan.w + p:] = 0
-        xp[:, :, p:plan.h + p, p:plan.w + p] = x
+        xp[:, :, p:plan.h + p, p:plan.w + p] = xs
     else:
-        xp = x
+        xp = xs
     s0, s1, s2, s3 = xp.strides
     view = np.lib.stride_tricks.as_strided(
-        xp, shape=plan.cols_shape6,
+        xp, shape=(sn,) + plan.cols_shape6[1:],
         strides=(s0, s1, s2, s3, s2 * s, s3 * s))
-    if ckk:
-        c, kh, kw = plan.c, plan.kh, plan.kw
-        mem = arena.acquire((c, kh, kw, plan.n, plan.oh, plan.ow), x.dtype)
-        buf = mem.transpose(3, 0, 1, 2, 4, 5)  # logical (n, c, kh, kw, oh, ow)
-    else:
-        buf = arena.acquire(plan.cols_shape6, x.dtype)
-    np.copyto(buf, view)
+    np.copyto(buf6[n0:n1], view)
     if p:
         arena.release(xp)
-    return buf
 
 
 def col2im(dcols: np.ndarray, plan: ConvPlan) -> np.ndarray:
@@ -384,6 +487,21 @@ def col2im(dcols: np.ndarray, plan: ConvPlan) -> np.ndarray:
     for i, j, dst_h, dst_w, src_a, src_b in plan.slices:
         dx[:, :, dst_h, dst_w] += d6[:, :, i, j, src_a, src_b]
     return dx
+
+
+def col2im_add(dcols: np.ndarray, plan: ConvPlan, dx: np.ndarray,
+               n0: int, n1: int) -> None:
+    """Scatter-add batch rows ``[n0, n1)`` of gradient columns into ``dx``.
+
+    Slice-table scatter restricted to one batch span.  Each destination
+    element receives its tap contributions in exactly the same order as the
+    full-range :func:`col2im` loop (the batch axis is untouched by the
+    scatter), so a sharded scatter over disjoint spans is bit-identical to
+    the serial one.
+    """
+    d6 = dcols.reshape(plan.cols_shape6)
+    for i, j, dst_h, dst_w, src_a, src_b in plan.slices:
+        dx[n0:n1, :, dst_h, dst_w] += d6[n0:n1, :, i, j, src_a, src_b]
 
 
 def _col2im_bincount(dcols: np.ndarray, plan: ConvPlan) -> np.ndarray:

@@ -118,6 +118,35 @@ def _counter_rows(events: Iterable[dict]) -> list[list[str]]:
             for key in sorted(last) if key not in skip]
 
 
+def _sweep_rows(events: Iterable[dict]) -> list[list[str]]:
+    rows = []
+    for ev in events:
+        if ev.get("type") != "sweep_task":
+            continue
+        config = ev.get("config", {})
+        desc = ", ".join(f"{k}={v}" for k, v in sorted(config.items())
+                         if k != "method") or "-"
+        rows.append([str(ev.get("index", "?")),
+                     str(config.get("method", "?")), desc,
+                     str(ev.get("worker_pid", "?")),
+                     f"{float(ev.get('dur_s', 0.0)):.2f}",
+                     "ok" if ev.get("ok", True) else "FAILED"])
+    return rows
+
+
+def _sweep_worker_rows(events: Iterable[dict]) -> list[list[str]]:
+    rows = []
+    for ev in events:
+        if ev.get("type") != "sweep_worker":
+            continue
+        wall = float(ev.get("wall_s", 0.0))
+        busy = float(ev.get("busy_s", 0.0))
+        util = busy / wall if wall > 0 else 0.0
+        rows.append([str(ev.get("worker_pid", "?")), f"{busy:.2f}",
+                     f"{wall:.2f}", f"{util:.0%}"])
+    return rows
+
+
 def summarize_events(events: list[dict[str, Any]]) -> str:
     """Render the trace as the standard three report tables."""
     sections = []
@@ -136,6 +165,17 @@ def summarize_events(events: list[dict[str, Any]]) -> str:
         sections.append(_format_table(
             ["span", "count", "total-ms", "mean-ms", "max-ms"],
             span_rows, title="Span timings"))
+
+    sweep_rows = _sweep_rows(events)
+    if sweep_rows:
+        sections.append(_format_table(
+            ["#", "method", "config", "pid", "seconds", "status"],
+            sweep_rows, title="Sweep tasks"))
+    worker_rows = _sweep_worker_rows(events)
+    if worker_rows:
+        sections.append(_format_table(
+            ["worker pid", "busy-s", "wall-s", "utilization"],
+            worker_rows, title="Sweep workers"))
 
     counter_rows = _counter_rows(events)
     if counter_rows:

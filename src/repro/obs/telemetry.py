@@ -267,6 +267,9 @@ def collect_runtime_counters(registry: Telemetry | None = None, *,
         if isinstance(val, bool):
             val = int(val)
         values[f"arena.{key}"] = float(val)
+    from ..parallel import intra_op  # local import, same reason as kernels
+    for key, val in intra_op.stats().items():
+        values[f"parallel.{key}"] = float(val)
     if registry.enabled:
         for name, value in values.items():
             registry.gauge(name, value)

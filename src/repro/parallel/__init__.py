@@ -1,0 +1,43 @@
+"""Two-level parallel execution for the DECO reproduction stack.
+
+* :mod:`repro.parallel.intra_op` — **Layer 1**: batch-axis sharding of the
+  hot numpy kernels (conv2d forward/backward, im2col/col2im, max-pool,
+  softmax) across a persistent thread pool.  Numpy releases the GIL inside
+  its big array primitives, so shards overlap on real cores while results
+  stay bit-identical to the serial path.
+* :mod:`repro.parallel.sweep` — **Layer 2**: a multiprocessing sweep
+  executor that fans independent experiment grid points out to worker
+  processes, shipping the large arrays once through
+  :mod:`multiprocessing.shared_memory`.
+
+Both layers default to serial (one thread, one job) so existing behaviour
+is untouched unless explicitly opted in via ``--threads`` / ``--jobs``
+or ``REPRO_NUM_THREADS``.
+"""
+
+from .intra_op import (even_bounds, get_num_threads, note_serial_fallback,
+                       reset_stats, run_sharded, set_num_threads,
+                       set_shard_threshold, shard_bounds, shard_threshold,
+                       shutdown, stats, thread_arena)
+from .sweep import (SharedArrayPack, SweepOutcome, SweepTaskError,
+                    default_start_method, run_sweep)
+
+__all__ = [
+    "get_num_threads",
+    "set_num_threads",
+    "shard_threshold",
+    "set_shard_threshold",
+    "even_bounds",
+    "shard_bounds",
+    "run_sharded",
+    "thread_arena",
+    "note_serial_fallback",
+    "stats",
+    "reset_stats",
+    "shutdown",
+    "SharedArrayPack",
+    "SweepOutcome",
+    "SweepTaskError",
+    "run_sweep",
+    "default_start_method",
+]

@@ -1,0 +1,289 @@
+"""Intra-op batch sharding across a persistent worker-thread pool.
+
+Layer 1 of the two-level parallel execution subsystem: large batch-axis
+kernels (conv2d forward/backward, im2col/col2im, max-pool, the softmax side
+of cross-entropy) split their batch dimension into contiguous shards and run
+the shards on a process-wide :class:`~concurrent.futures.ThreadPoolExecutor`.
+Numpy releases the GIL inside the big array primitives (``copyto``,
+``einsum``, ufunc loops), so the shards genuinely overlap on multi-core
+machines while the Python-level orchestration stays trivial.
+
+Determinism contract
+--------------------
+Sharding must never change results, bit for bit:
+
+* **Fixed shard boundaries** — :func:`even_bounds` depends only on the batch
+  size and the shard count, never on timing or which thread picks up what.
+* **Disjoint writes** — every shard writes a disjoint ``[a:b)`` slice of a
+  preallocated output; there is no cross-shard reduction on the sharded
+  paths (batch reductions such as the conv weight gradient stay serial).
+* **Probed contractions** — einsum float32 summation order can in principle
+  depend on operand shapes/strides, so the conv kernels additionally verify
+  a shape's shard decomposition against the serial contraction on
+  deterministic data before using it (:meth:`repro.nn.kernels.ConvPlan.shard_safe`)
+  and fall back to the serial path when the probe fails.
+
+With one configured thread (the default) the kernel layer takes the
+pre-existing serial code paths untouched — zero dispatch overhead, identical
+allocation behaviour.
+
+Knobs (environment variables are read at import time):
+
+* ``REPRO_NUM_THREADS`` — worker threads for intra-op sharding (default 1 =
+  serial); also settable at runtime via :func:`set_num_threads`.
+* ``REPRO_SHARD_MIN_BATCH`` — minimum rows per shard (default 32); batches
+  smaller than two shards' worth stay on the single-threaded fast path.
+
+Per-thread workspace arenas
+---------------------------
+Shard bodies that need scratch memory (the padded im2col canvas, max-pool
+window buffers) draw it from :func:`thread_arena` — a per-thread
+:class:`~repro.nn.workspace.WorkspaceArena` — so concurrent shards never
+contend on the global arena lock and every thread reuses its own
+already-faulted pages.  The calling thread maps to the process-wide
+:data:`~repro.nn.workspace.default_arena`, which keeps the serial path's
+allocation behaviour byte-for-byte unchanged.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+from ..nn.workspace import WorkspaceArena, default_arena
+
+__all__ = [
+    "get_num_threads",
+    "set_num_threads",
+    "shard_threshold",
+    "set_shard_threshold",
+    "even_bounds",
+    "shard_bounds",
+    "run_sharded",
+    "thread_arena",
+    "stats",
+    "reset_stats",
+    "shutdown",
+]
+
+
+def _env_int(name: str, default: int) -> int:
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        return default
+
+
+_NUM_THREADS = max(1, _env_int("REPRO_NUM_THREADS", 1))
+_MIN_SHARD = max(1, _env_int("REPRO_SHARD_MIN_BATCH", 32))
+
+_LOCK = threading.Lock()
+_EXECUTOR: ThreadPoolExecutor | None = None
+_EXECUTOR_WORKERS = 0
+
+# Per-shard-size worker arenas are smaller than the global one: each thread
+# only ever holds shard-sized scratch.
+_THREAD_ARENA_MAX_MB = max(1, _env_int("REPRO_THREAD_ARENA_MAX_MB", 128))
+
+# Lifetime counters, pulled by obs.collect_runtime_counters().  Only touched
+# on the >1-thread dispatch path, so the serial hot path pays nothing.
+_STATS_LOCK = threading.Lock()
+_SHARDED_CALLS = 0
+_SHARDS_DISPATCHED = 0
+_SERIAL_FALLBACKS = 0  # probe- or caller-declined sharding at >1 threads
+
+
+class _ThreadLocalArenas(threading.local):
+    def __init__(self) -> None:  # runs once per thread on first access
+        self.arena: WorkspaceArena | None = None
+
+
+_TLS = _ThreadLocalArenas()
+_MAIN_THREAD_ID = threading.get_ident()
+
+
+def thread_arena() -> WorkspaceArena:
+    """The calling thread's private scratch arena.
+
+    The main thread gets the process-wide :data:`default_arena` (so the
+    serial path and shard 0, which runs inline, keep their buffer reuse);
+    pool threads lazily create their own bounded arena.
+    """
+    if threading.get_ident() == _MAIN_THREAD_ID:
+        return default_arena
+    arena = _TLS.arena
+    if arena is None:
+        arena = WorkspaceArena(max_bytes=_THREAD_ARENA_MAX_MB * 1024 * 1024,
+                               enabled=default_arena.enabled)
+        _TLS.arena = arena
+    return arena
+
+
+# ----------------------------------------------------------------------
+# Configuration
+# ----------------------------------------------------------------------
+def get_num_threads() -> int:
+    """Configured intra-op worker-thread count (1 = serial)."""
+    return _NUM_THREADS
+
+
+def set_num_threads(n: int) -> None:
+    """Set the intra-op thread count; the pool is resized lazily."""
+    global _NUM_THREADS
+    if n < 1:
+        raise ValueError("thread count must be >= 1")
+    _NUM_THREADS = int(n)
+
+
+def shard_threshold() -> int:
+    """Minimum rows per shard before a batch is split."""
+    return _MIN_SHARD
+
+
+def set_shard_threshold(rows: int) -> None:
+    global _MIN_SHARD
+    if rows < 1:
+        raise ValueError("shard threshold must be >= 1")
+    _MIN_SHARD = int(rows)
+
+
+def shutdown() -> None:
+    """Tear down the worker pool (it is recreated lazily on next use)."""
+    global _EXECUTOR, _EXECUTOR_WORKERS
+    with _LOCK:
+        if _EXECUTOR is not None:
+            _EXECUTOR.shutdown(wait=True, cancel_futures=True)
+        _EXECUTOR = None
+        _EXECUTOR_WORKERS = 0
+
+
+def _reset_after_fork() -> None:
+    """Forked children inherit a dead pool object; drop it and start clean."""
+    global _EXECUTOR, _EXECUTOR_WORKERS, _LOCK, _STATS_LOCK, _TLS
+    global _MAIN_THREAD_ID
+    _EXECUTOR = None
+    _EXECUTOR_WORKERS = 0
+    _LOCK = threading.Lock()
+    _STATS_LOCK = threading.Lock()
+    _TLS = _ThreadLocalArenas()
+    _MAIN_THREAD_ID = threading.get_ident()
+
+
+if hasattr(os, "register_at_fork"):  # pragma: no branch - posix only
+    os.register_at_fork(after_in_child=_reset_after_fork)
+
+
+def _executor(workers_needed: int) -> ThreadPoolExecutor:
+    """The persistent pool, grown to at least ``workers_needed`` threads."""
+    global _EXECUTOR, _EXECUTOR_WORKERS
+    with _LOCK:
+        if _EXECUTOR is None or _EXECUTOR_WORKERS < workers_needed:
+            if _EXECUTOR is not None:
+                _EXECUTOR.shutdown(wait=True, cancel_futures=True)
+            _EXECUTOR = ThreadPoolExecutor(
+                max_workers=workers_needed,
+                thread_name_prefix="repro-shard")
+            _EXECUTOR_WORKERS = workers_needed
+        return _EXECUTOR
+
+
+# ----------------------------------------------------------------------
+# Shard geometry
+# ----------------------------------------------------------------------
+def even_bounds(n: int, k: int) -> list[tuple[int, int]]:
+    """Split ``range(n)`` into ``k`` contiguous near-even ``[a, b)`` spans.
+
+    Pure in (n, k): the boundaries are what guarantee deterministic shard
+    decomposition for a given configuration.
+    """
+    k = max(1, min(int(k), int(n)))
+    edges = [(i * n) // k for i in range(k + 1)]
+    return [(edges[i], edges[i + 1]) for i in range(k)]
+
+
+def shard_bounds(n: int) -> list[tuple[int, int]] | None:
+    """Shard decomposition for a batch of ``n`` rows, or None for serial.
+
+    Returns None when a single thread is configured or the batch is too
+    small to fill at least two shards of ``shard_threshold()`` rows each.
+    """
+    if _NUM_THREADS < 2 or n < 2 * _MIN_SHARD:
+        return None
+    k = min(_NUM_THREADS, n // _MIN_SHARD)
+    if k < 2:
+        return None
+    return even_bounds(n, k)
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
+def run_sharded(fn, bounds: list[tuple[int, int]]) -> None:
+    """Run ``fn(a, b)`` for every shard; shard 0 inline on the caller.
+
+    Exceptions from any shard propagate to the caller after all shards have
+    been collected.  Writes must target disjoint slices; the function
+    returns only when every shard has finished.
+    """
+    global _SHARDED_CALLS, _SHARDS_DISPATCHED
+    if len(bounds) == 1:
+        fn(*bounds[0])
+        return
+    pool = _executor(len(bounds) - 1)
+    futures = [pool.submit(fn, a, b) for a, b in bounds[1:]]
+    try:
+        fn(*bounds[0])
+    finally:
+        # Drain even when the inline shard raised, so no shard is left
+        # writing into buffers the caller may release.
+        errors = []
+        for fut in futures:
+            try:
+                fut.result()
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                errors.append(exc)
+    if errors:
+        raise errors[0]
+    with _STATS_LOCK:
+        _SHARDED_CALLS += 1
+        _SHARDS_DISPATCHED += len(bounds)
+    from .. import obs  # local import: obs pulls no nn/parallel code eagerly
+    if obs.enabled():
+        obs.counter("parallel.sharded_calls")
+        obs.counter("parallel.shards_dispatched", len(bounds))
+        for a, b in bounds:
+            obs.observe("parallel.shard_size", b - a)
+
+
+def note_serial_fallback() -> None:
+    """Record that a shardable op declined sharding (probe/scatter mode)."""
+    global _SERIAL_FALLBACKS
+    with _STATS_LOCK:
+        _SERIAL_FALLBACKS += 1
+    from .. import obs
+    if obs.enabled():
+        obs.counter("parallel.serial_fallbacks")
+
+
+# ----------------------------------------------------------------------
+# Introspection
+# ----------------------------------------------------------------------
+def stats() -> dict[str, int]:
+    with _STATS_LOCK:
+        return {
+            "num_threads": _NUM_THREADS,
+            "shard_min_batch": _MIN_SHARD,
+            "sharded_calls": _SHARDED_CALLS,
+            "shards_dispatched": _SHARDS_DISPATCHED,
+            "serial_fallbacks": _SERIAL_FALLBACKS,
+        }
+
+
+def reset_stats() -> None:
+    global _SHARDED_CALLS, _SHARDS_DISPATCHED, _SERIAL_FALLBACKS
+    with _STATS_LOCK:
+        _SHARDED_CALLS = _SHARDS_DISPATCHED = _SERIAL_FALLBACKS = 0

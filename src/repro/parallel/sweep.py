@@ -1,0 +1,364 @@
+"""Inter-run sweep executor: fan experiment grid points out to processes.
+
+Layer 2 of the parallel execution subsystem.  Independent experiment
+configurations (Table I/II grid points, Fig. 4 sweep points, ablation
+variants, repeated benchmark seeds) are embarrassingly parallel: each one
+runs a complete on-device pipeline and touches no shared mutable state.
+:func:`run_sweep` executes such a grid on a pool of worker *processes* so
+every grid point gets its own GIL and its own BLAS/kernel state.
+
+Design points
+-------------
+* **Shared-memory arrays, pickled once.**  The big inputs (dataset splits,
+  stream pools, model weights) are packed into a single
+  :mod:`multiprocessing.shared_memory` block by :class:`SharedArrayPack`
+  and attached once per worker in the pool initializer — tasks themselves
+  carry only small config dicts.  Without this every task submission would
+  re-pickle tens of MB of arrays through the task pipe.
+* **Ordered results.**  Results come back in task order regardless of
+  completion order, so sweep output is independent of scheduling.
+* **Crash surfacing.**  A grid point that raises inside a worker returns its
+  formatted traceback; the parent raises :class:`SweepTaskError` carrying
+  the offending config and the remote traceback instead of hanging or
+  dying with an opaque ``BrokenProcessPool``.  Hard worker death (OOM kill,
+  segfault) is mapped to the same error type.
+* **``jobs=1`` is exactly today's behaviour**: the grid runs inline in the
+  parent process, in order, with no multiprocessing machinery at all.
+
+The default start method is ``fork`` where available (cheap, inherits the
+imported numpy stack); override with ``REPRO_MP_START=spawn|forkserver``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from multiprocessing import get_context, shared_memory
+from typing import Any, Callable, Mapping, Sequence
+
+import numpy as np
+
+__all__ = [
+    "SharedArrayPack",
+    "SweepTaskError",
+    "SweepOutcome",
+    "run_sweep",
+    "default_start_method",
+]
+
+#: Worker signature: ``worker(config, context, arrays) -> picklable result``.
+SweepWorker = Callable[[dict, Any, Mapping[str, np.ndarray]], Any]
+
+
+def default_start_method() -> str:
+    """Multiprocessing start method for sweeps (``REPRO_MP_START`` override)."""
+    import multiprocessing
+
+    requested = os.environ.get("REPRO_MP_START", "").strip().lower()
+    available = multiprocessing.get_all_start_methods()
+    if requested:
+        if requested not in available:
+            raise ValueError(f"REPRO_MP_START={requested!r} not available; "
+                             f"choose from {available}")
+        return requested
+    return "fork" if "fork" in available else "spawn"
+
+
+# ----------------------------------------------------------------------
+# Shared-memory array pack
+# ----------------------------------------------------------------------
+def _align(offset: int, alignment: int = 64) -> int:
+    return (offset + alignment - 1) // alignment * alignment
+
+
+class SharedArrayPack:
+    """A name->ndarray mapping packed into one shared-memory block.
+
+    The parent :meth:`creates <create>` the pack (one copy per array into the
+    block), workers :meth:`attach` read-only views by name.  The block is
+    reference-counted by the OS: the parent unlinks it after the sweep and
+    the memory disappears when the last worker detaches.
+    """
+
+    def __init__(self, shm: shared_memory.SharedMemory,
+                 manifest: dict[str, tuple[str, tuple[int, ...], int]],
+                 *, owner: bool) -> None:
+        self._shm = shm
+        self._manifest = manifest
+        self._owner = owner
+
+    # -- parent side -------------------------------------------------------
+    @classmethod
+    def create(cls, arrays: Mapping[str, np.ndarray]) -> "SharedArrayPack":
+        manifest: dict[str, tuple[str, tuple[int, ...], int]] = {}
+        offset = 0
+        contiguous = {name: np.ascontiguousarray(arr)
+                      for name, arr in arrays.items()}
+        for name, arr in contiguous.items():
+            offset = _align(offset)
+            manifest[name] = (arr.dtype.str, arr.shape, offset)
+            offset += arr.nbytes
+        shm = shared_memory.SharedMemory(create=True, size=max(offset, 1))
+        for name, arr in contiguous.items():
+            _, shape, off = manifest[name]
+            view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf,
+                              offset=off)
+            view[...] = arr
+        return cls(shm, manifest, owner=True)
+
+    def spec(self) -> dict:
+        """Picklable attach info handed to worker initializers."""
+        return {"shm_name": self._shm.name, "manifest": self._manifest}
+
+    # -- worker side -------------------------------------------------------
+    @classmethod
+    def attach(cls, spec: dict) -> "SharedArrayPack":
+        # Python <3.13 registers even attached (non-owning) segments with the
+        # resource tracker, which then tries to clean them up on worker exit:
+        # under spawn the worker's own tracker unlinks the live segment, under
+        # fork the shared tracker's bookkeeping is corrupted.  Suppress the
+        # registration for the attach (the parent owns the segment and its
+        # tracker entry).
+        from multiprocessing import resource_tracker
+        original_register = resource_tracker.register
+        resource_tracker.register = lambda name, rtype: None
+        try:
+            shm = shared_memory.SharedMemory(name=spec["shm_name"])
+        finally:
+            resource_tracker.register = original_register
+        return cls(shm, spec["manifest"], owner=False)
+
+    def arrays(self) -> dict[str, np.ndarray]:
+        """Read-only ndarray views over the shared block."""
+        out: dict[str, np.ndarray] = {}
+        for name, (dtype, shape, off) in self._manifest.items():
+            view = np.ndarray(shape, dtype=np.dtype(dtype),
+                              buffer=self._shm.buf, offset=off)
+            view.flags.writeable = False
+            out[name] = view
+        return out
+
+    @property
+    def nbytes(self) -> int:
+        return self._shm.size
+
+    # -- lifecycle ---------------------------------------------------------
+    def close(self, *, unlink: bool | None = None) -> None:
+        """Detach; the owning side also unlinks the block."""
+        if unlink is None:
+            unlink = self._owner
+        try:
+            self._shm.close()
+        except BufferError:  # live views outstanding; OS cleanup still works
+            pass
+        if unlink:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:
+                pass
+
+
+# ----------------------------------------------------------------------
+# Errors and outcomes
+# ----------------------------------------------------------------------
+class SweepTaskError(RuntimeError):
+    """A grid point failed; carries its config and the worker traceback."""
+
+    def __init__(self, config: dict, traceback_text: str) -> None:
+        self.config = config
+        self.traceback_text = traceback_text
+        super().__init__(
+            f"sweep task failed for config {config!r}\n"
+            f"--- worker traceback ---\n{traceback_text}")
+
+
+@dataclass
+class SweepOutcome:
+    """One grid point's result plus its execution metadata."""
+
+    config: dict
+    result: Any = None
+    error: str | None = None
+    worker_pid: int = 0
+    seconds: float = 0.0
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+# ----------------------------------------------------------------------
+# Worker-process globals (set by the pool initializer)
+# ----------------------------------------------------------------------
+_WORKER_PACK: SharedArrayPack | None = None
+_WORKER_ARRAYS: dict[str, np.ndarray] = {}
+_WORKER_CONTEXT: Any = None
+
+
+def _worker_init(pack_spec: dict | None, context: Any) -> None:
+    global _WORKER_PACK, _WORKER_ARRAYS, _WORKER_CONTEXT
+    # Fork-started workers inherit an enabled telemetry sink writing to the
+    # parent's trace file; concurrent appends from several processes would
+    # interleave mid-line.  Workers stay silent — the parent emits the
+    # per-task ``sweep_task`` events on their behalf.
+    from .. import obs
+    obs.disable()
+    _WORKER_CONTEXT = context
+    if pack_spec is not None:
+        _WORKER_PACK = SharedArrayPack.attach(pack_spec)
+        _WORKER_ARRAYS = _WORKER_PACK.arrays()
+    else:
+        _WORKER_PACK = None
+        _WORKER_ARRAYS = {}
+
+
+def _worker_run(worker: SweepWorker, index: int, config: dict) -> dict:
+    t0 = time.perf_counter()
+    try:
+        result = worker(config, _WORKER_CONTEXT, _WORKER_ARRAYS)
+        return {"index": index, "ok": True, "result": result,
+                "pid": os.getpid(), "seconds": time.perf_counter() - t0}
+    except BaseException:  # noqa: BLE001 - surfaced to the parent
+        return {"index": index, "ok": False,
+                "error": traceback.format_exc(),
+                "pid": os.getpid(), "seconds": time.perf_counter() - t0}
+
+
+# ----------------------------------------------------------------------
+# The sweep runner
+# ----------------------------------------------------------------------
+def _emit_outcome(outcome: SweepOutcome, index: int) -> None:
+    from .. import obs
+
+    if not obs.enabled():
+        return
+    obs.counter("sweep.tasks_completed")
+    obs.observe("sweep.task_seconds", outcome.seconds)
+    obs.event("sweep_task", index=index, config=outcome.config,
+              worker_pid=outcome.worker_pid, dur_s=outcome.seconds,
+              ok=outcome.ok)
+
+
+def _run_inline(worker: SweepWorker, configs: Sequence[dict], context: Any,
+                arrays: Mapping[str, np.ndarray] | None,
+                raise_on_error: bool) -> list[SweepOutcome]:
+    outcomes = []
+    arrays = dict(arrays or {})
+    for index, config in enumerate(configs):
+        t0 = time.perf_counter()
+        try:
+            result = worker(dict(config), context, arrays)
+            outcome = SweepOutcome(config=dict(config), result=result,
+                                   worker_pid=os.getpid(),
+                                   seconds=time.perf_counter() - t0)
+        except Exception:
+            outcome = SweepOutcome(config=dict(config),
+                                   error=traceback.format_exc(),
+                                   worker_pid=os.getpid(),
+                                   seconds=time.perf_counter() - t0)
+            if raise_on_error:
+                _emit_outcome(outcome, index)
+                raise SweepTaskError(outcome.config, outcome.error) from None
+        outcomes.append(outcome)
+        _emit_outcome(outcome, index)
+    return outcomes
+
+
+def run_sweep(worker: SweepWorker, configs: Sequence[dict], *,
+              jobs: int = 1,
+              arrays: Mapping[str, np.ndarray] | None = None,
+              context: Any = None,
+              start_method: str | None = None,
+              raise_on_error: bool = True) -> list[SweepOutcome]:
+    """Run ``worker`` over every config, optionally across processes.
+
+    Parameters
+    ----------
+    worker:
+        Picklable module-level callable
+        ``worker(config, context, arrays) -> result``.
+    configs:
+        Grid points; each must be a picklable dict.  Results are returned in
+        this order.
+    jobs:
+        Worker processes.  ``1`` (default) runs the grid inline in the
+        parent — exactly the serial behaviour, no subprocesses.
+    arrays:
+        Large ndarrays shipped to workers once via shared memory (read-only
+        views inside the workers).
+    context:
+        Small picklable object passed to every worker once (pool
+        initializer), e.g. dataset/model metadata.
+    start_method:
+        Multiprocessing start method override (default:
+        :func:`default_start_method`).
+    raise_on_error:
+        When True (default) the first failing grid point raises
+        :class:`SweepTaskError`; when False, failures are returned as
+        outcomes with ``.error`` set and the sweep keeps going.
+    """
+    from .. import obs
+
+    configs = [dict(c) for c in configs]
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    if not configs:
+        return []
+    if jobs == 1 or len(configs) == 1:
+        return _run_inline(worker, configs, context, arrays, raise_on_error)
+
+    jobs = min(jobs, len(configs))
+    pack = SharedArrayPack.create(arrays) if arrays else None
+    t_start = time.perf_counter()
+    if obs.enabled():
+        obs.gauge("sweep.jobs", jobs)
+        if pack is not None:
+            obs.gauge("sweep.shared_bytes", pack.nbytes)
+    ctx = get_context(start_method or default_start_method())
+    outcomes: list[SweepOutcome | None] = [None] * len(configs)
+    try:
+        with ProcessPoolExecutor(
+                max_workers=jobs, mp_context=ctx,
+                initializer=_worker_init,
+                initargs=(pack.spec() if pack else None, context)) as pool:
+            futures = [pool.submit(_worker_run, worker, i, config)
+                       for i, config in enumerate(configs)]
+            for i, fut in enumerate(futures):
+                try:
+                    payload = fut.result()
+                except BrokenProcessPool:
+                    raise SweepTaskError(
+                        configs[i],
+                        "worker process died before returning a result "
+                        "(killed or crashed hard); re-run with jobs=1 to "
+                        "reproduce in-process") from None
+                outcome = SweepOutcome(
+                    config=configs[i],
+                    result=payload.get("result"),
+                    error=None if payload["ok"] else payload["error"],
+                    worker_pid=payload["pid"],
+                    seconds=payload["seconds"])
+                outcomes[i] = outcome
+                _emit_outcome(outcome, i)
+                if not outcome.ok and raise_on_error:
+                    raise SweepTaskError(outcome.config, outcome.error)
+    finally:
+        if pack is not None:
+            pack.close()
+    wall = time.perf_counter() - t_start
+    done = [o for o in outcomes if o is not None]
+    if obs.enabled() and wall > 0:
+        busy = sum(o.seconds for o in done)
+        obs.gauge("sweep.utilization", busy / (jobs * wall))
+        by_pid: dict[int, float] = {}
+        for o in done:
+            by_pid[o.worker_pid] = by_pid.get(o.worker_pid, 0.0) + o.seconds
+        for pid, seconds in sorted(by_pid.items()):
+            obs.event("sweep_worker", worker_pid=pid, busy_s=seconds,
+                      wall_s=wall)
+    return done

@@ -1,0 +1,162 @@
+"""Layer-1 intra-op sharding machinery: geometry, execution, arenas, stats."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.nn.workspace import default_arena
+from repro.parallel import intra_op
+
+
+@pytest.fixture(autouse=True)
+def _restore_config():
+    """Every test leaves the process-wide knobs as it found them."""
+    threads = intra_op.get_num_threads()
+    threshold = intra_op.shard_threshold()
+    yield
+    intra_op.set_num_threads(threads)
+    intra_op.set_shard_threshold(threshold)
+    intra_op.reset_stats()
+
+
+# ----------------------------------------------------------------------
+# Shard geometry
+# ----------------------------------------------------------------------
+def test_even_bounds_tile_the_range_exactly():
+    for n in (1, 2, 7, 31, 128, 1000):
+        for k in (1, 2, 3, 4, 7, 16):
+            bounds = intra_op.even_bounds(n, k)
+            assert bounds[0][0] == 0
+            assert bounds[-1][1] == n
+            for (_, b1), (a2, _) in zip(bounds, bounds[1:]):
+                assert b1 == a2
+            sizes = [b - a for a, b in bounds]
+            assert all(s >= 1 for s in sizes)
+            assert max(sizes) - min(sizes) <= 1
+
+
+def test_even_bounds_clamps_shard_count_to_n():
+    assert intra_op.even_bounds(3, 100) == [(0, 1), (1, 2), (2, 3)]
+    assert intra_op.even_bounds(5, 0) == [(0, 5)]
+
+
+def test_even_bounds_is_pure_in_n_and_k():
+    assert intra_op.even_bounds(128, 4) == intra_op.even_bounds(128, 4)
+
+
+def test_shard_bounds_serial_when_one_thread():
+    intra_op.set_num_threads(1)
+    assert intra_op.shard_bounds(10_000) is None
+
+
+def test_shard_bounds_serial_below_threshold():
+    intra_op.set_num_threads(4)
+    intra_op.set_shard_threshold(32)
+    assert intra_op.shard_bounds(63) is None  # < 2 full shards
+    bounds = intra_op.shard_bounds(64)
+    assert bounds is not None and len(bounds) == 2
+
+
+def test_shard_bounds_caps_shards_by_threshold():
+    intra_op.set_num_threads(8)
+    intra_op.set_shard_threshold(32)
+    bounds = intra_op.shard_bounds(100)  # only 3 shards of >=32 rows fit
+    assert bounds is not None and len(bounds) == 3
+    bounds = intra_op.shard_bounds(1024)
+    assert bounds is not None and len(bounds) == 8
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        intra_op.set_num_threads(0)
+    with pytest.raises(ValueError):
+        intra_op.set_shard_threshold(0)
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
+def test_run_sharded_covers_every_shard():
+    intra_op.set_num_threads(4)
+    out = np.zeros(100, dtype=np.int64)
+    bounds = intra_op.even_bounds(100, 4)
+
+    def fill(a, b):
+        out[a:b] = np.arange(a, b)
+
+    intra_op.run_sharded(fill, bounds)
+    np.testing.assert_array_equal(out, np.arange(100))
+
+
+def test_run_sharded_runs_first_shard_on_caller_thread():
+    intra_op.set_num_threads(4)
+    seen = {}
+
+    def record(a, b):
+        seen[(a, b)] = threading.get_ident()
+
+    bounds = intra_op.even_bounds(8, 2)
+    intra_op.run_sharded(record, bounds)
+    assert seen[bounds[0]] == threading.get_ident()
+    assert seen[bounds[1]] != threading.get_ident()
+
+
+def test_run_sharded_propagates_worker_errors():
+    intra_op.set_num_threads(4)
+
+    def boom(a, b):
+        if a > 0:
+            raise RuntimeError(f"shard {a}:{b} failed")
+
+    with pytest.raises(RuntimeError, match="failed"):
+        intra_op.run_sharded(boom, intra_op.even_bounds(8, 2))
+
+
+def test_run_sharded_propagates_inline_errors_after_draining():
+    intra_op.set_num_threads(4)
+    done = []
+
+    def fn(a, b):
+        if a == 0:
+            raise ValueError("inline shard failed")
+        done.append((a, b))
+
+    with pytest.raises(ValueError, match="inline"):
+        intra_op.run_sharded(fn, intra_op.even_bounds(8, 2))
+    assert done == [(4, 8)]  # the pool shard still ran to completion
+
+
+def test_stats_count_sharded_calls_and_fallbacks():
+    intra_op.set_num_threads(4)
+    intra_op.reset_stats()
+    intra_op.run_sharded(lambda a, b: None, intra_op.even_bounds(64, 4))
+    intra_op.note_serial_fallback()
+    stats = intra_op.stats()
+    assert stats["sharded_calls"] == 1
+    assert stats["shards_dispatched"] == 4
+    assert stats["serial_fallbacks"] == 1
+    intra_op.reset_stats()
+    assert intra_op.stats()["sharded_calls"] == 0
+
+
+# ----------------------------------------------------------------------
+# Per-thread arenas
+# ----------------------------------------------------------------------
+def test_thread_arena_is_default_arena_on_caller_thread():
+    assert intra_op.thread_arena() is default_arena
+
+
+def test_pool_threads_get_private_arenas():
+    intra_op.set_num_threads(4)
+    arenas = {}
+
+    def grab(a, b):
+        arenas[(a, b)] = intra_op.thread_arena()
+
+    bounds = intra_op.even_bounds(8, 2)
+    intra_op.run_sharded(grab, bounds)
+    assert arenas[bounds[0]] is default_arena
+    assert arenas[bounds[1]] is not default_arena

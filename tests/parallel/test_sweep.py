@@ -1,0 +1,153 @@
+"""Layer-2 sweep executor: shared-memory packs, ordering, crash surfacing."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.parallel import (SharedArrayPack, SweepTaskError, run_sweep,
+                            sweep)
+
+
+def _square_worker(config, context, arrays):
+    base = int(arrays["base"][0]) if arrays else 0
+    offset = context["offset"] if context else 0
+    return config["i"] ** 2 + base + offset
+
+
+def _crashy_worker(config, context, arrays):
+    if config.get("boom"):
+        raise ValueError(f"kaboom-{config['i']}")
+    return config["i"] * 2
+
+
+def _pid_worker(config, context, arrays):
+    return os.getpid()
+
+
+def _mutate_worker(config, context, arrays):
+    try:
+        arrays["base"][0] = 999
+    except ValueError:
+        return "read-only"
+    return "writable"
+
+
+# ----------------------------------------------------------------------
+# SharedArrayPack
+# ----------------------------------------------------------------------
+def test_shared_array_pack_round_trip():
+    arrays = {
+        "a": np.arange(24, dtype=np.float32).reshape(2, 3, 4),
+        "b": np.array([1, 2, 3], dtype=np.int64),
+        "c": np.zeros((5,), dtype=np.uint8),
+    }
+    pack = SharedArrayPack.create(arrays)
+    try:
+        attached = SharedArrayPack.attach(pack.spec())
+        views = attached.arrays()
+        for name, arr in arrays.items():
+            np.testing.assert_array_equal(views[name], arr)
+            assert views[name].dtype == arr.dtype
+            assert not views[name].flags.writeable
+        attached.close(unlink=False)
+    finally:
+        pack.close()
+
+
+def test_shared_array_pack_rejects_mutation():
+    pack = SharedArrayPack.create({"x": np.ones(4)})
+    try:
+        view = pack.arrays()["x"]
+        with pytest.raises(ValueError):
+            view[0] = 2.0
+    finally:
+        pack.close()
+
+
+# ----------------------------------------------------------------------
+# run_sweep, inline (jobs=1)
+# ----------------------------------------------------------------------
+def test_inline_sweep_preserves_order_and_metadata():
+    configs = [{"i": i} for i in range(5)]
+    outcomes = run_sweep(_square_worker, configs, jobs=1,
+                         context={"offset": 1})
+    assert [o.result for o in outcomes] == [i ** 2 + 1 for i in range(5)]
+    assert all(o.ok for o in outcomes)
+    assert all(o.worker_pid == os.getpid() for o in outcomes)
+    assert [o.config for o in outcomes] == configs
+
+
+def test_inline_sweep_raises_sweep_task_error():
+    configs = [{"i": 0}, {"i": 1, "boom": True}, {"i": 2}]
+    with pytest.raises(SweepTaskError) as exc_info:
+        run_sweep(_crashy_worker, configs, jobs=1)
+    err = exc_info.value
+    assert err.config == {"i": 1, "boom": True}
+    assert "ValueError" in err.traceback_text
+    assert "kaboom-1" in err.traceback_text
+
+
+def test_inline_sweep_collects_errors_when_not_raising():
+    configs = [{"i": 0}, {"i": 1, "boom": True}, {"i": 2}]
+    outcomes = run_sweep(_crashy_worker, configs, jobs=1,
+                         raise_on_error=False)
+    assert [o.ok for o in outcomes] == [True, False, True]
+    assert "kaboom-1" in outcomes[1].error
+    assert outcomes[2].result == 4
+
+
+def test_empty_and_invalid_inputs():
+    assert run_sweep(_square_worker, [], jobs=4) == []
+    with pytest.raises(ValueError):
+        run_sweep(_square_worker, [{"i": 1}], jobs=0)
+
+
+# ----------------------------------------------------------------------
+# run_sweep, multiprocess (jobs>1)
+# ----------------------------------------------------------------------
+def test_process_sweep_matches_inline_results():
+    configs = [{"i": i} for i in range(6)]
+    arrays = {"base": np.array([10.0])}
+    inline = run_sweep(_square_worker, configs, jobs=1, arrays=arrays,
+                       context={"offset": 3})
+    fanned = run_sweep(_square_worker, configs, jobs=2, arrays=arrays,
+                       context={"offset": 3})
+    assert [o.result for o in inline] == [o.result for o in fanned]
+    assert [o.config for o in fanned] == configs
+
+
+def test_process_sweep_uses_worker_processes():
+    pids = {o.result for o in
+            run_sweep(_pid_worker, [{"i": i} for i in range(4)], jobs=2)}
+    assert os.getpid() not in pids
+
+
+def test_process_sweep_arrays_are_read_only_in_workers():
+    # Two configs so the pool path runs (a single config short-circuits to
+    # the inline loop, which hands workers the original writable arrays).
+    outcomes = run_sweep(_mutate_worker, [{"i": 0}, {"i": 1}], jobs=2,
+                         arrays={"base": np.array([1.0])})
+    assert all(o.result == "read-only" for o in outcomes)
+
+
+def test_process_sweep_surfaces_worker_crash_with_config_and_traceback():
+    configs = [{"i": 0}, {"i": 1, "boom": True}, {"i": 2}]
+    with pytest.raises(SweepTaskError) as exc_info:
+        run_sweep(_crashy_worker, configs, jobs=2)
+    err = exc_info.value
+    assert err.config == {"i": 1, "boom": True}
+    assert "ValueError" in err.traceback_text
+    assert "kaboom-1" in err.traceback_text
+
+
+def test_default_start_method_env_override(monkeypatch):
+    monkeypatch.setenv("REPRO_MP_START", "spawn")
+    assert sweep.default_start_method() == "spawn"
+    monkeypatch.setenv("REPRO_MP_START", "not-a-method")
+    with pytest.raises(ValueError):
+        sweep.default_start_method()
+    monkeypatch.delenv("REPRO_MP_START")
+    assert sweep.default_start_method() in ("fork", "spawn")
