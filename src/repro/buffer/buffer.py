@@ -121,6 +121,11 @@ class SyntheticBuffer:
     def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
         if state["images"].shape != self.images.shape:
             raise ValueError("buffer shape mismatch")
+        if "labels" in state and not np.array_equal(state["labels"],
+                                                    self.labels):
+            # Labels are structural (row c*ipc+k belongs to class c); a
+            # snapshot with different labels is from an incompatible buffer.
+            raise ValueError("buffer label layout mismatch")
         self.images[:] = state["images"]
 
 
@@ -188,3 +193,24 @@ class RawBuffer:
     def as_training_set(self) -> tuple[np.ndarray, np.ndarray]:
         """Return (images, labels) copies of the occupied slots."""
         return self.images[: self.count].copy(), self.labels[: self.count].copy()
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Full snapshot: payload, metadata columns, and fill counters."""
+        state = {"images": self.images.copy(), "labels": self.labels.copy(),
+                 "count": np.asarray(self.count, dtype=np.int64),
+                 "total_seen": np.asarray(self.total_seen, dtype=np.int64)}
+        for key, values in self.aux.items():
+            state[f"aux.{key}"] = values.copy()
+        return state
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Restore a :meth:`state_dict` snapshot in place."""
+        if state["images"].shape != self.images.shape:
+            raise ValueError("buffer shape mismatch")
+        self.images[:] = state["images"]
+        self.labels[:] = state["labels"]
+        self.count = int(state["count"])
+        self.total_seen = int(state["total_seen"])
+        self.aux = {key[len("aux."):]: np.array(values)
+                    for key, values in state.items()
+                    if key.startswith("aux.")}

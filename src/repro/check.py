@@ -8,7 +8,10 @@ equivalent for this repo.  It runs, in order:
 3. the kernel + parallel suites again with the intra-op thread pool forced
    on (``REPRO_NUM_THREADS=4``, ``REPRO_SHARD_MIN_BATCH=8``) so the
    sharded code paths are covered even on single-core boxes;
-4. a one-repeat pass of the micro-benchmarks (kernel cases, one condense
+4. the crash/resume selfcheck (``python -m repro.persist.selfcheck``): a
+   2-job grid is crashed after its first completed point and resumed; the
+   merged results must be bit-identical to a clean serial run;
+5. a one-repeat pass of the micro-benchmarks (kernel cases, one condense
    segment, and the parallel scaling matrix), which also refreshes the
    counter snapshots attached to ``bench_results/micro_kernels.json``.
 
@@ -86,6 +89,11 @@ def main(argv: list[str] | None = None) -> int:
                          "parallel matrix (threads=4)",
                          extra_env={"REPRO_NUM_THREADS": "4",
                                     "REPRO_SHARD_MIN_BATCH": "8"}) != 0
+        # Resume leg: crash a 2-job grid after its first completed point,
+        # then resume it and assert the merged results are bit-identical
+        # to a clean serial run (see repro.persist.selfcheck).
+        failures += _run([sys.executable, "-m", "repro.persist.selfcheck"],
+                         root, "crash/resume selfcheck") != 0
 
     if not args.skip_bench:
         bench_dir = root / "benchmarks" / "micro"

@@ -10,6 +10,7 @@ Usage::
     python -m repro fig4b
     python -m repro ablations
     python -m repro run --method deco --dataset core50 --ipc 10
+    python -m repro checkpoints runs/ckpt
 
 Every subcommand accepts ``--profile micro|smoke|paper`` and ``--seed`` and
 prints the paper-style report; ``--output`` additionally writes it to a
@@ -17,6 +18,12 @@ file.  ``--telemetry DIR`` records a structured JSONL trace of the run
 (per-segment events, per-pass span timings, kernel/cache counters) into
 ``DIR/trace.jsonl``, which ``python -m repro obs summarize DIR`` renders
 as tables.
+
+``--checkpoint-dir DIR`` persists prepared experiments and journals every
+completed grid point; re-running the same command with ``--resume`` skips
+the journaled points, so an interrupted grid continues where it stopped.
+``python -m repro checkpoints DIR`` summarizes what a checkpoint directory
+holds.
 """
 
 from __future__ import annotations
@@ -55,6 +62,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--threads", type=int, default=None, metavar="N",
                         help="intra-op worker threads for batch-sharded "
                              "kernels (default: REPRO_NUM_THREADS or 1)")
+    parser.add_argument("--checkpoint-dir", type=pathlib.Path, default=None,
+                        metavar="DIR",
+                        help="persist prepared experiments and completed "
+                             "grid points under DIR (journal.jsonl + "
+                             "results/ + prepared/)")
+    parser.add_argument("--resume", action="store_true",
+                        help="skip grid points already journaled in "
+                             "--checkpoint-dir from an interrupted run")
     sub = parser.add_subparsers(dest="command", required=True)
 
     t1 = sub.add_parser("table1", help="Table I: accuracy comparison")
@@ -93,6 +108,18 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--ipc", type=int, default=10)
     run.add_argument("--condenser", default="deco",
                      choices=("deco", "dc", "dsa", "dm"))
+    run.add_argument("--checkpoint-every", type=int, default=None,
+                     metavar="K",
+                     help="checkpoint learner state into --checkpoint-dir "
+                          "every K stream segments (enables mid-stream "
+                          "kill/--resume)")
+
+    ckpt = sub.add_parser("checkpoints",
+                          help="inspect a --checkpoint-dir: journaled grid "
+                               "points, cached prepared experiments, "
+                               "learner checkpoints")
+    ckpt.add_argument("dir", type=pathlib.Path,
+                      help="checkpoint directory to summarize")
 
     obs_cmd = sub.add_parser("obs", help="telemetry-trace tooling")
     obs_cmd.add_argument("action", choices=("summarize",),
@@ -110,19 +137,28 @@ def _dispatch(args: argparse.Namespace) -> str:
             return summarize_trace(args.trace)
         except FileNotFoundError as exc:
             raise SystemExit(f"repro obs: error: {exc}") from exc
+    if args.command == "checkpoints":
+        from .persist import summarize_checkpoint_dir
+        try:
+            return summarize_checkpoint_dir(args.dir)
+        except FileNotFoundError as exc:
+            raise SystemExit(f"repro checkpoints: error: {exc}") from exc
+    if args.resume and args.checkpoint_dir is None:
+        raise SystemExit("repro: error: --resume requires --checkpoint-dir")
+    ckpt = dict(checkpoint_dir=args.checkpoint_dir, resume=args.resume)
     if args.command == "table1":
         from .experiments.profiles import get_profile
         seeds = (tuple(args.seeds) if args.seeds is not None
                  else tuple(range(get_profile(args.profile).num_seeds)))
         result = run_table1(datasets=tuple(args.datasets),
                             ipcs=tuple(args.ipcs), profile=args.profile,
-                            seeds=seeds, jobs=args.jobs)
+                            seeds=seeds, jobs=args.jobs, **ckpt)
         return format_table1(result)
     if args.command == "table2":
         result = run_table2(ipcs=tuple(args.ipcs),
                             condensers=tuple(args.condensers),
                             profile=args.profile, seed=args.seed,
-                            jobs=args.jobs)
+                            jobs=args.jobs, **ckpt)
         return format_table2(result)
     if args.command == "fig2":
         return format_fig2(run_fig2(profile=args.profile, seed=args.seed))
@@ -131,25 +167,33 @@ def _dispatch(args: argparse.Namespace) -> str:
                                     seed=args.seed))
     if args.command == "fig4a":
         return format_fig4a(run_fig4a(ipc=args.ipc, profile=args.profile,
-                                      seed=args.seed, jobs=args.jobs))
+                                      seed=args.seed, jobs=args.jobs, **ckpt))
     if args.command == "fig4b":
         return format_fig4b(run_fig4b(ipcs=tuple(args.ipcs),
                                       profile=args.profile, seed=args.seed,
-                                      jobs=args.jobs))
+                                      jobs=args.jobs, **ckpt))
     if args.command == "ablations":
         return format_ablations(run_ablations(profile=args.profile,
                                               seeds=(args.seed,),
-                                              jobs=args.jobs))
+                                              jobs=args.jobs, **ckpt))
     if args.command == "noise":
         from .experiments import format_noise_robustness, run_noise_robustness
         return format_noise_robustness(run_noise_robustness(
             ipc=args.ipc, noise_rates=tuple(args.noise_rates),
             profile=args.profile, seed=args.seed))
     if args.command == "run":
-        prepared = prepare_experiment(args.dataset, args.profile,
-                                      seed=args.seed)
+        from .experiments.grid import prepared_cache_dir
+        prepared = prepare_experiment(
+            args.dataset, args.profile, seed=args.seed,
+            cache_dir=prepared_cache_dir(args.checkpoint_dir))
+        if args.checkpoint_every is not None and args.checkpoint_dir is None:
+            raise SystemExit("repro run: error: --checkpoint-every requires "
+                             "--checkpoint-dir")
         result = run_method(prepared, args.method, args.ipc, seed=args.seed,
-                            condenser_name=args.condenser)
+                            condenser_name=args.condenser,
+                            checkpoint_every=args.checkpoint_every,
+                            checkpoint_dir=args.checkpoint_dir,
+                            resume=args.resume)
         return (f"{result.method} on {args.dataset} (IpC={args.ipc}): "
                 f"accuracy {result.final_accuracy:.2%} in "
                 f"{result.wall_seconds:.1f}s "

@@ -137,4 +137,8 @@ class DECOLearner(OnDeviceLearner):
     def _load_extra_state(self, state: dict[str, np.ndarray]) -> None:
         if state["buffer_images"].shape != self.buffer.images.shape:
             raise ValueError("checkpoint buffer shape mismatch")
+        labels = state.get("buffer_labels")
+        if labels is not None and not np.array_equal(labels,
+                                                     self.buffer.labels):
+            raise ValueError("checkpoint buffer label layout mismatch")
         self.buffer.images[:] = state["buffer_images"]

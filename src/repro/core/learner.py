@@ -157,7 +157,10 @@ class OnDeviceLearner(abc.ABC):
 
     def run(self, stream: Stream, *, x_test: np.ndarray | None = None,
             y_test: np.ndarray | None = None,
-            eval_every: int | None = None) -> LearnerHistory:
+            eval_every: int | None = None,
+            checkpoint_every: int | None = None,
+            checkpoint_dir=None,
+            resume: bool = False) -> LearnerHistory:
         """Stream all segments through the learner.
 
         Parameters
@@ -169,16 +172,47 @@ class OnDeviceLearner(abc.ABC):
             final accuracy is wanted).
         eval_every:
             Evaluate every this many segments (for learning curves); the
-        final state is always evaluated when test data is given.
+            final state is always evaluated when test data is given.
+        checkpoint_every / checkpoint_dir:
+            Snapshot the learner (model, subclass state, RNG state,
+            history, loop cursor) into ``checkpoint_dir`` every
+            ``checkpoint_every`` segments, via
+            :mod:`repro.persist.learner_io`.
+        resume:
+            Continue from the newest readable checkpoint in
+            ``checkpoint_dir`` (no-op when there is none): already-consumed
+            segments of the deterministic stream are skipped and all state
+            is restored in place, so a killed-and-resumed run is
+            bit-identical to an uninterrupted one for learners whose
+            :meth:`checkpoint` captures their full state (DECO and the
+            upper bound do; replay selection strategies keeping private
+            cursors outside the buffer resume approximately).
         """
         can_eval = x_test is not None and y_test is not None
         if eval_every is not None and not can_eval:
             raise ValueError("eval_every requires x_test and y_test")
+        if (checkpoint_every is not None or resume) and checkpoint_dir is None:
+            raise ValueError("checkpoint_every/resume require checkpoint_dir")
+        if checkpoint_every is not None and checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
 
         history = LearnerHistory()
         samples_seen = 0
         trained_at = -1
+        start_index = 0
+        if resume:
+            from ..persist import latest_learner_checkpoint, restore_learner
+            ckpt = latest_learner_checkpoint(checkpoint_dir)
+            if ckpt is not None:
+                cursor = restore_learner(self, ckpt, history)
+                start_index = cursor["segment_index"] + 1
+                samples_seen = cursor["samples_seen"]
+                trained_at = cursor["trained_at"]
+                obs.event("resume", segment=cursor["segment_index"],
+                          samples_seen=samples_seen)
         for segment in stream:
+            if segment.index < start_index:
+                continue  # fast-forward a resumed run past consumed segments
             with obs.span("segment", segment=segment.index):
                 diag = self.observe_segment(segment)
             samples_seen += len(segment)
@@ -203,6 +237,14 @@ class OnDeviceLearner(abc.ABC):
                 obs.event("eval", segment=segment.index,
                           samples_seen=samples_seen,
                           accuracy=history.accuracy[-1])
+            if (checkpoint_every is not None
+                    and (segment.index + 1) % checkpoint_every == 0):
+                from ..persist import save_learner_checkpoint
+                with obs.span("checkpoint", segment=segment.index):
+                    save_learner_checkpoint(
+                        checkpoint_dir, self, segment_index=segment.index,
+                        samples_seen=samples_seen, trained_at=trained_at,
+                        history=history)
         # Fold in any segments after the last scheduled update, then do the
         # final evaluation the paper's "final average accuracy" reports.
         if trained_at != len(stream) - 1:

@@ -44,6 +44,19 @@ class ReplayLearner(OnDeviceLearner):
     def training_set(self) -> tuple[np.ndarray, np.ndarray]:
         return self.buffer.as_training_set()
 
+    def _extra_state(self) -> dict[str, np.ndarray]:
+        return {f"buffer.{key}": value
+                for key, value in self.buffer.state_dict().items()}
+
+    def _load_extra_state(self, state: dict[str, np.ndarray]) -> None:
+        # Restores buffer contents + fill counters.  Strategies that keep
+        # private cursors outside the buffer (FIFO slot pointer, GSS
+        # embeddings) re-derive or rebuild them, so a resumed replay run is
+        # faithful in buffer contents but not guaranteed bit-identical.
+        self.buffer.load_state_dict(
+            {key[len("buffer."):]: value for key, value in state.items()
+             if key.startswith("buffer.")})
+
 
 class UpperBoundLearner(OnDeviceLearner):
     """Oracle with an unlimited buffer and ground-truth labels.
@@ -68,3 +81,13 @@ class UpperBoundLearner(OnDeviceLearner):
         if not self._images:
             return (np.empty((0,)), np.empty((0,), dtype=np.int64))
         return np.concatenate(self._images), np.concatenate(self._labels)
+
+    def _extra_state(self) -> dict[str, np.ndarray]:
+        images, labels = self.training_set()
+        return {"seen_images": images, "seen_labels": labels}
+
+    def _load_extra_state(self, state: dict[str, np.ndarray]) -> None:
+        images = state["seen_images"]
+        labels = state["seen_labels"]
+        self._images = [images.copy()] if len(images) else []
+        self._labels = [labels.copy()] if len(labels) else []

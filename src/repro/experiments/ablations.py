@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 from .common import prepare_experiment
-from .grid import run_method_grid
+from .grid import prepared_cache_dir, run_method_grid
 from .reporting import format_table
 
 __all__ = ["AblationResult", "run_ablations", "format_ablations",
@@ -60,10 +60,12 @@ def run_ablations(*, dataset: str = "core50", ipc: int = 10,
                   variants: dict[str, dict] | None = None,
                   profile: str = "smoke",
                   seeds: Sequence[int] = (0,),
-                  jobs: int = 1) -> AblationResult:
+                  jobs: int = 1, checkpoint_dir=None,
+                  resume: bool = False) -> AblationResult:
     """Run DECO variants differing in exactly one design choice."""
     variants = variants if variants is not None else DEFAULT_VARIANTS
-    prepared = prepare_experiment(dataset, profile, seed=0)
+    prepared = prepare_experiment(dataset, profile, seed=0,
+                                  cache_dir=prepared_cache_dir(checkpoint_dir))
     result = AblationResult(dataset=dataset, ipc=ipc)
     grid = [(name, dict(kwargs), s)
             for name, kwargs in variants.items() for s in seeds]
@@ -71,7 +73,7 @@ def run_ablations(*, dataset: str = "core50", ipc: int = 10,
         prepared,
         [{"method": "deco", "ipc": ipc, "seed": s,
           "condenser_kwargs": kwargs} for _, kwargs, s in grid],
-        jobs=jobs)
+        jobs=jobs, checkpoint_dir=checkpoint_dir, resume=resume)
     for name in variants:
         accs = [run.final_accuracy
                 for (gname, _, _), run in zip(grid, runs) if gname == name]

@@ -17,6 +17,7 @@ matching how the paper runs "five trials with different random seeds".
 from __future__ import annotations
 
 import copy
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Sequence
@@ -79,15 +80,40 @@ class PreparedExperiment:
 
 def prepare_experiment(dataset_name: str, profile_name: str = "smoke", *,
                        seed: int = 0,
-                       use_cache: bool = True) -> PreparedExperiment:
+                       use_cache: bool = True,
+                       cache_dir: str | os.PathLike | None = None
+                       ) -> PreparedExperiment:
     """Generate data and pre-train the model to deploy.
 
-    Deterministic in (dataset_name, profile_name, seed); cached because all
-    methods of one comparison share the same starting point.
+    Deterministic in (dataset_name, profile_name, seed); cached in-process
+    because all methods of one comparison share the same starting point.
+
+    ``cache_dir`` additionally persists the prepared experiment to disk
+    (one checkpoint per key, see :mod:`repro.persist.prepared_cache`):
+    repeated sweeps — including freshly started processes — load the
+    pretrained weights and splits instead of re-pretraining.  A cache
+    entry that fails identity or content-hash validation is ignored and
+    rebuilt, never trusted.
     """
     key = (dataset_name, profile_name, int(seed))
     if use_cache and key in _PREPARED_CACHE:
-        return _PREPARED_CACHE[key]
+        prepared = _PREPARED_CACHE[key]
+        if cache_dir is not None:
+            # Write through: an in-process hit must still leave a disk
+            # entry so later processes (workers, resumed runs) find it.
+            from ..persist import prepared_cache_path, save_prepared
+            base = prepared_cache_path(cache_dir, dataset_name, profile_name,
+                                       seed)
+            if not base.with_suffix(".json").is_file():
+                save_prepared(cache_dir, prepared, seed=seed)
+        return prepared
+    if cache_dir is not None:
+        from ..persist import load_prepared
+        prepared = load_prepared(cache_dir, dataset_name, profile_name, seed)
+        if prepared is not None:
+            if use_cache:
+                _PREPARED_CACHE[key] = prepared
+            return prepared
 
     profile = get_profile(profile_name)
     dataset = load_dataset(dataset_name, profile.dataset_profile, seed=0)
@@ -108,6 +134,9 @@ def prepare_experiment(dataset_name: str, profile_name: str = "smoke", *,
         pretrain_accuracy=evaluate_accuracy(model, dataset.x_test, dataset.y_test))
     if use_cache:
         _PREPARED_CACHE[key] = prepared
+    if cache_dir is not None:
+        from ..persist import save_prepared
+        save_prepared(cache_dir, prepared, seed=seed)
     return prepared
 
 
@@ -169,7 +198,10 @@ def run_method(prepared: PreparedExperiment, method: str, ipc: int, *,
                labeler_threshold: float = 0.4,
                labeler: MajorityVotePseudoLabeler | None = None,
                eval_every: int | None = None,
-               config: LearnerConfig | None = None) -> MethodResult:
+               config: LearnerConfig | None = None,
+               checkpoint_every: int | None = None,
+               checkpoint_dir: str | os.PathLike | None = None,
+               resume: bool = False) -> MethodResult:
     """Run one on-device method over a freshly ordered stream.
 
     Parameters
@@ -193,6 +225,15 @@ def run_method(prepared: PreparedExperiment, method: str, ipc: int, *,
         ``labeler_threshold`` is ignored.
     eval_every:
         Segment interval for learning-curve evaluations (Fig. 3).
+    checkpoint_every / checkpoint_dir / resume:
+        Mid-stream learner checkpointing, passed straight to
+        :meth:`~repro.core.learner.OnDeviceLearner.run`: snapshot the
+        learner every ``checkpoint_every`` segments into
+        ``checkpoint_dir`` and, with ``resume=True``, continue from the
+        newest checkpoint found there (bit-identical for learners whose
+        ``checkpoint()`` captures their full state, e.g. DECO).  Note the
+        ``condense_seconds``/``wall_seconds`` of a resumed run only cover
+        the portion executed after the restore.
     """
     if method not in METHOD_NAMES:
         raise KeyError(f"unknown method {method!r}; available: {METHOD_NAMES}")
@@ -235,7 +276,9 @@ def run_method(prepared: PreparedExperiment, method: str, ipc: int, *,
                                 config=config, rng=learner_rng)
 
     history = learner.run(stream, x_test=dataset.x_test, y_test=dataset.y_test,
-                          eval_every=eval_every)
+                          eval_every=eval_every,
+                          checkpoint_every=checkpoint_every,
+                          checkpoint_dir=checkpoint_dir, resume=resume)
     wall = time.perf_counter() - start
 
     return MethodResult(

@@ -17,13 +17,26 @@ changes with ``jobs``.
 
 from __future__ import annotations
 
+import os
+import pathlib
+
 import numpy as np
 
 from ..parallel import run_sweep
+from ..persist import ResumeJournal, content_hash, method_result_store
 from .common import (MethodResult, PreparedExperiment, prepare_experiment,
                      run_method)
 
-__all__ = ["run_method_grid", "pack_prepared", "rebuild_prepared"]
+__all__ = ["run_method_grid", "pack_prepared", "rebuild_prepared",
+           "grid_journal", "prepared_cache_dir"]
+
+
+def prepared_cache_dir(checkpoint_dir: str | os.PathLike | None
+                       ) -> pathlib.Path | None:
+    """Where a checkpoint dir keeps its prepared-experiment cache."""
+    if checkpoint_dir is None:
+        return None
+    return pathlib.Path(checkpoint_dir) / "prepared"
 
 
 def pack_prepared(prepared: PreparedExperiment):
@@ -58,6 +71,10 @@ def pack_prepared(prepared: PreparedExperiment):
         "pretrain_accuracy": prepared.pretrain_accuracy,
         "param_names": list(state),
         "has_prototypes": has_prototypes,
+        # Byte-level identity of this prepared state: keys the per-worker
+        # rebuild cache and scopes resume-journal entries, so two
+        # experiments that merely share (dataset, profile) never alias.
+        "content_hash": content_hash(arrays),
     }
     return arrays, context
 
@@ -96,32 +113,94 @@ def rebuild_prepared(context: dict, arrays) -> PreparedExperiment:
 
 
 # One rebuild per worker process per prepared experiment, reused across the
-# grid points that land on that worker.
-_WORKER_CACHE: dict[tuple[str, str], PreparedExperiment] = {}
+# grid points that land on that worker.  Keyed by the *content hash* of the
+# packed arrays, not by (dataset, profile): a second grid in the same
+# process — or a fork-inherited cache — with the same names but different
+# pretrained weights/splits must rebuild, or every grid point would
+# silently run against the stale experiment.  Bounded so back-to-back
+# grids over different experiments don't accumulate tens of MB each.
+_WORKER_CACHE: dict[str, PreparedExperiment] = {}
+_WORKER_CACHE_MAX = 2
 
 
 def _grid_worker(config: dict, context: dict, arrays) -> MethodResult:
-    key = (context["dataset_name"], context["profile_name"])
+    key = context["content_hash"]
     prepared = _WORKER_CACHE.get(key)
     if prepared is None:
         prepared = rebuild_prepared(context, arrays)
+        while len(_WORKER_CACHE) >= _WORKER_CACHE_MAX:
+            _WORKER_CACHE.pop(next(iter(_WORKER_CACHE)))
         _WORKER_CACHE[key] = prepared
     return run_method(prepared, **config)
 
 
+def _local_grid_worker(prepared: PreparedExperiment):
+    """Inline (jobs=1) sweep worker bound to the in-process experiment."""
+    def worker(config: dict, context, arrays) -> MethodResult:
+        return run_method(prepared, **config)
+    return worker
+
+
+def _journal_for_context(checkpoint_dir: str | os.PathLike,
+                         context: dict) -> ResumeJournal:
+    checkpoint_dir = pathlib.Path(checkpoint_dir)
+    scope = {"dataset": context["dataset_name"],
+             "profile": context["profile_name"],
+             "prepared": context["content_hash"]}
+    save_result, load_result = method_result_store(checkpoint_dir / "results")
+    return ResumeJournal(checkpoint_dir / "journal.jsonl", scope=scope,
+                         save_result=save_result, load_result=load_result)
+
+
+def grid_journal(checkpoint_dir: str | os.PathLike,
+                 prepared: PreparedExperiment) -> ResumeJournal:
+    """The resume journal of ``checkpoint_dir``, scoped to ``prepared``.
+
+    Layout: ``journal.jsonl`` at the top of the directory, one persisted
+    :class:`MethodResult` checkpoint per completed point under
+    ``results/``.  The scope ties every entry to the byte-exact prepared
+    state (dataset, profile, content hash of the packed arrays), so a
+    journal recorded against different pretrained weights never satisfies
+    a resume.
+    """
+    _, context = pack_prepared(prepared)
+    return _journal_for_context(checkpoint_dir, context)
+
+
 def run_method_grid(prepared: PreparedExperiment, configs, *,
-                    jobs: int = 1) -> list[MethodResult]:
+                    jobs: int = 1,
+                    checkpoint_dir: str | os.PathLike | None = None,
+                    resume: bool = False) -> list[MethodResult]:
     """Run ``run_method(prepared, **config)`` per config, in config order.
 
     ``jobs=1`` executes the exact serial loop in-process.  ``jobs>1`` fans
     the grid out to worker processes; a failing grid point raises
     :class:`~repro.parallel.SweepTaskError` carrying its config and the
     worker traceback.
+
+    With ``checkpoint_dir`` set, every completed grid point is persisted
+    and journaled there (see :func:`grid_journal`); ``resume=True``
+    additionally skips configs the journal already records, loading their
+    results from disk — results are deterministic in (prepared, config),
+    so a resumed grid is bit-identical to an uninterrupted one.
     """
     configs = [dict(c) for c in configs]
-    if jobs <= 1 or len(configs) <= 1:
-        return [run_method(prepared, **c) for c in configs]
+    if resume and checkpoint_dir is None:
+        raise ValueError("resume=True requires checkpoint_dir")
+    if checkpoint_dir is None:
+        if jobs <= 1 or len(configs) <= 1:
+            return [run_method(prepared, **c) for c in configs]
+        arrays, context = pack_prepared(prepared)
+        outcomes = run_sweep(_grid_worker, configs, jobs=jobs, arrays=arrays,
+                             context=context)
+        return [o.result for o in outcomes]
+
     arrays, context = pack_prepared(prepared)
-    outcomes = run_sweep(_grid_worker, configs, jobs=jobs, arrays=arrays,
-                         context=context)
+    journal = _journal_for_context(checkpoint_dir, context)
+    if jobs <= 1 or len(configs) <= 1:
+        outcomes = run_sweep(_local_grid_worker(prepared), configs, jobs=1,
+                             journal=journal, resume=resume)
+    else:
+        outcomes = run_sweep(_grid_worker, configs, jobs=jobs, arrays=arrays,
+                             context=context, journal=journal, resume=resume)
     return [o.result for o in outcomes]

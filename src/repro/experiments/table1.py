@@ -17,7 +17,7 @@ import numpy as np
 from ..buffer.selection import STRATEGY_NAMES
 from ..utils.metrics import mean_and_std, relative_improvement
 from .common import prepare_experiment
-from .grid import run_method_grid
+from .grid import prepared_cache_dir, run_method_grid
 from .reporting import format_mean_std, format_table
 
 __all__ = ["Table1Cell", "Table1Result", "run_table1", "format_table1",
@@ -76,13 +76,22 @@ def run_table1(*, datasets: Sequence[str] = DEFAULT_DATASETS,
                profile: str = "smoke",
                seeds: Sequence[int] = (0,),
                include_upper_bound: bool = True,
-               jobs: int = 1) -> Table1Result:
+               jobs: int = 1,
+               checkpoint_dir=None,
+               resume: bool = False) -> Table1Result:
     """Regenerate Table I (or any subset of it); ``jobs>1`` runs each
-    dataset's (ipc, method, seed) grid in parallel worker processes."""
+    dataset's (ipc, method, seed) grid in parallel worker processes.
+
+    ``checkpoint_dir`` persists prepared experiments (under ``prepared/``)
+    and journals every completed grid point; ``resume=True`` skips the
+    journaled points of an interrupted earlier run.
+    """
     result = Table1Result(datasets=tuple(datasets), ipcs=tuple(ipcs),
                           baselines=tuple(baselines))
+    cache_dir = prepared_cache_dir(checkpoint_dir)
     for dataset in datasets:
-        prepared = prepare_experiment(dataset, profile, seed=0)
+        prepared = prepare_experiment(dataset, profile, seed=0,
+                                      cache_dir=cache_dir)
         grid = [(ipc, method, seed)
                 for ipc in ipcs
                 for method in list(baselines) + ["deco"]
@@ -93,7 +102,7 @@ def run_table1(*, datasets: Sequence[str] = DEFAULT_DATASETS,
             prepared,
             [{"method": method, "ipc": ipc, "seed": seed}
              for ipc, method, seed in grid],
-            jobs=jobs)
+            jobs=jobs, checkpoint_dir=checkpoint_dir, resume=resume)
         ub_accs = []
         for (ipc, method, seed), run in zip(grid, runs):
             if method == "upper_bound":

@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 from .common import prepare_experiment
-from .grid import run_method_grid
+from .grid import prepared_cache_dir, run_method_grid
 from .reporting import format_table
 
 __all__ = ["Table2Entry", "Table2Result", "run_table2", "format_table2",
@@ -55,10 +55,14 @@ def run_table2(*, dataset: str = "core50",
                ipcs: Sequence[int] = (1, 5, 10, 50),
                condensers: Sequence[str] = DEFAULT_CONDENSERS,
                profile: str = "smoke", seed: int = 0,
-               jobs: int = 1) -> Table2Result:
+               jobs: int = 1, checkpoint_dir=None,
+               resume: bool = False) -> Table2Result:
     """Regenerate Table II (or a subset); ``jobs>1`` runs grid points in
-    parallel worker processes."""
-    prepared = prepare_experiment(dataset, profile, seed=0)
+    parallel worker processes.  ``checkpoint_dir``/``resume`` journal
+    completed points and skip them on re-run (see :func:`run_method_grid`).
+    """
+    prepared = prepare_experiment(dataset, profile, seed=0,
+                                  cache_dir=prepared_cache_dir(checkpoint_dir))
     result = Table2Result(condensers=tuple(condensers), ipcs=tuple(ipcs),
                           dataset=dataset)
     grid = [(condenser, ipc) for condenser in condensers for ipc in ipcs]
@@ -66,7 +70,7 @@ def run_table2(*, dataset: str = "core50",
         prepared,
         [{"method": "deco", "ipc": ipc, "seed": seed,
           "condenser_name": condenser} for condenser, ipc in grid],
-        jobs=jobs)
+        jobs=jobs, checkpoint_dir=checkpoint_dir, resume=resume)
     for (condenser, ipc), run in zip(grid, runs):
         result.entries[(condenser, ipc)] = Table2Entry(
             condenser=condenser, ipc=ipc,

@@ -31,16 +31,22 @@ imported numpy stack); override with ``REPRO_MP_START=spawn|forkserver``.
 
 from __future__ import annotations
 
+import contextlib
+import inspect
 import os
+import threading
 import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from multiprocessing import get_context, shared_memory
-from typing import Any, Callable, Mapping, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Mapping, Sequence
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (persist -> parallel)
+    from ..persist import ResumeJournal
 
 __all__ = [
     "SharedArrayPack",
@@ -73,6 +79,50 @@ def default_start_method() -> str:
 # ----------------------------------------------------------------------
 def _align(offset: int, alignment: int = 64) -> int:
     return (offset + alignment - 1) // alignment * alignment
+
+
+#: Python >= 3.13 lets an attacher opt out of resource-tracker
+#: registration directly; older versions need the patch below.
+_SHM_SUPPORTS_TRACK = "track" in inspect.signature(
+    shared_memory.SharedMemory.__init__).parameters
+
+# Guards the resource-tracker registration patch used by attach() on
+# Python < 3.13.  The patch is global (module attribute), so concurrent
+# attaches — threaded callers, nested packs — must install it exactly once
+# and restore it only when the last attacher leaves; an unguarded
+# save/patch/restore pair can interleave so that the saved "original" is
+# another attacher's no-op, leaving registration permanently disabled.
+_TRACKER_PATCH_LOCK = threading.Lock()
+_TRACKER_PATCH_DEPTH = 0
+_TRACKER_ORIGINAL_REGISTER: Callable | None = None
+
+
+@contextlib.contextmanager
+def _untracked_shm_attach():
+    """Suppress resource-tracker registration, re-entrantly + thread-safely.
+
+    Python <3.13 registers even attached (non-owning) segments with the
+    resource tracker, which then tries to clean them up on worker exit:
+    under spawn the worker's own tracker unlinks the live segment, under
+    fork the shared tracker's bookkeeping is corrupted.  The parent owns
+    the segment and its tracker entry, so attachers must not register.
+    """
+    global _TRACKER_PATCH_DEPTH, _TRACKER_ORIGINAL_REGISTER
+    from multiprocessing import resource_tracker
+
+    with _TRACKER_PATCH_LOCK:
+        _TRACKER_PATCH_DEPTH += 1
+        if _TRACKER_PATCH_DEPTH == 1:
+            _TRACKER_ORIGINAL_REGISTER = resource_tracker.register
+            resource_tracker.register = lambda name, rtype: None
+    try:
+        yield
+    finally:
+        with _TRACKER_PATCH_LOCK:
+            _TRACKER_PATCH_DEPTH -= 1
+            if _TRACKER_PATCH_DEPTH == 0:
+                resource_tracker.register = _TRACKER_ORIGINAL_REGISTER
+                _TRACKER_ORIGINAL_REGISTER = None
 
 
 class SharedArrayPack:
@@ -117,19 +167,16 @@ class SharedArrayPack:
     # -- worker side -------------------------------------------------------
     @classmethod
     def attach(cls, spec: dict) -> "SharedArrayPack":
-        # Python <3.13 registers even attached (non-owning) segments with the
-        # resource tracker, which then tries to clean them up on worker exit:
-        # under spawn the worker's own tracker unlinks the live segment, under
-        # fork the shared tracker's bookkeeping is corrupted.  Suppress the
-        # registration for the attach (the parent owns the segment and its
-        # tracker entry).
-        from multiprocessing import resource_tracker
-        original_register = resource_tracker.register
-        resource_tracker.register = lambda name, rtype: None
-        try:
-            shm = shared_memory.SharedMemory(name=spec["shm_name"])
-        finally:
-            resource_tracker.register = original_register
+        # Attach without resource-tracker registration (the parent owns the
+        # segment and its tracker entry): natively where SharedMemory
+        # supports ``track=False``, via the guarded registration patch
+        # elsewhere — see :func:`_untracked_shm_attach`.
+        if _SHM_SUPPORTS_TRACK:
+            shm = shared_memory.SharedMemory(name=spec["shm_name"],
+                                             track=False)
+        else:
+            with _untracked_shm_attach():
+                shm = shared_memory.SharedMemory(name=spec["shm_name"])
         return cls(shm, spec["manifest"], owner=False)
 
     def arrays(self) -> dict[str, np.ndarray]:
@@ -244,12 +291,13 @@ def _emit_outcome(outcome: SweepOutcome, index: int) -> None:
               ok=outcome.ok)
 
 
-def _run_inline(worker: SweepWorker, configs: Sequence[dict], context: Any,
+def _run_inline(worker: SweepWorker, configs: Sequence[dict],
+                indices: Sequence[int], context: Any,
                 arrays: Mapping[str, np.ndarray] | None,
-                raise_on_error: bool) -> list[SweepOutcome]:
-    outcomes = []
+                complete: Callable[[int, SweepOutcome], None]) -> None:
     arrays = dict(arrays or {})
-    for index, config in enumerate(configs):
+    for index in indices:
+        config = configs[index]
         t0 = time.perf_counter()
         try:
             result = worker(dict(config), context, arrays)
@@ -261,12 +309,67 @@ def _run_inline(worker: SweepWorker, configs: Sequence[dict], context: Any,
                                    error=traceback.format_exc(),
                                    worker_pid=os.getpid(),
                                    seconds=time.perf_counter() - t0)
-            if raise_on_error:
-                _emit_outcome(outcome, index)
-                raise SweepTaskError(outcome.config, outcome.error) from None
-        outcomes.append(outcome)
-        _emit_outcome(outcome, index)
-    return outcomes
+        complete(index, outcome)
+
+
+def _run_pool(worker: SweepWorker, configs: Sequence[dict],
+              indices: Sequence[int], context: Any,
+              arrays: Mapping[str, np.ndarray] | None,
+              jobs: int, start_method: str | None,
+              complete: Callable[[int, SweepOutcome], None]) -> None:
+    from .. import obs
+
+    t_start = time.perf_counter()
+    done: list[SweepOutcome] = []
+    # Everything that can fail between pack creation and pool startup
+    # (start-method resolution, telemetry, executor spin-up) runs under the
+    # same try/finally as the sweep itself, so an exception anywhere on
+    # this path still closes + unlinks the shared-memory segment — no
+    # leaked /dev/shm blocks, whatever raises.
+    pack: SharedArrayPack | None = None
+    try:
+        pack = SharedArrayPack.create(arrays) if arrays else None
+        if obs.enabled():
+            obs.gauge("sweep.jobs", jobs)
+            if pack is not None:
+                obs.gauge("sweep.shared_bytes", pack.nbytes)
+        ctx = get_context(start_method or default_start_method())
+        with ProcessPoolExecutor(
+                max_workers=jobs, mp_context=ctx,
+                initializer=_worker_init,
+                initargs=(pack.spec() if pack else None, context)) as pool:
+            futures = [(i, pool.submit(_worker_run, worker, i, configs[i]))
+                       for i in indices]
+            for i, fut in futures:
+                try:
+                    payload = fut.result()
+                except BrokenProcessPool:
+                    raise SweepTaskError(
+                        configs[i],
+                        "worker process died before returning a result "
+                        "(killed or crashed hard); re-run with jobs=1 to "
+                        "reproduce in-process") from None
+                outcome = SweepOutcome(
+                    config=configs[i],
+                    result=payload.get("result"),
+                    error=None if payload["ok"] else payload["error"],
+                    worker_pid=payload["pid"],
+                    seconds=payload["seconds"])
+                done.append(outcome)
+                complete(i, outcome)
+    finally:
+        if pack is not None:
+            pack.close()
+    wall = time.perf_counter() - t_start
+    if obs.enabled() and wall > 0:
+        busy = sum(o.seconds for o in done)
+        obs.gauge("sweep.utilization", busy / (jobs * wall))
+        by_pid: dict[int, float] = {}
+        for o in done:
+            by_pid[o.worker_pid] = by_pid.get(o.worker_pid, 0.0) + o.seconds
+        for pid, seconds in sorted(by_pid.items()):
+            obs.event("sweep_worker", worker_pid=pid, busy_s=seconds,
+                      wall_s=wall)
 
 
 def run_sweep(worker: SweepWorker, configs: Sequence[dict], *,
@@ -274,7 +377,9 @@ def run_sweep(worker: SweepWorker, configs: Sequence[dict], *,
               arrays: Mapping[str, np.ndarray] | None = None,
               context: Any = None,
               start_method: str | None = None,
-              raise_on_error: bool = True) -> list[SweepOutcome]:
+              raise_on_error: bool = True,
+              journal: "ResumeJournal | None" = None,
+              resume: bool = False) -> list[SweepOutcome]:
     """Run ``worker`` over every config, optionally across processes.
 
     Parameters
@@ -301,64 +406,62 @@ def run_sweep(worker: SweepWorker, configs: Sequence[dict], *,
         When True (default) the first failing grid point raises
         :class:`SweepTaskError`; when False, failures are returned as
         outcomes with ``.error`` set and the sweep keeps going.
+    journal:
+        Optional :class:`~repro.persist.ResumeJournal`.  Every successful
+        grid point is recorded (result persisted first, journal line
+        appended + fsynced second) by the parent process, in config order,
+        so a crashed sweep leaves a complete record of its finished points.
+    resume:
+        With a journal: configs already journaled are *skipped* and their
+        persisted results returned as outcomes with
+        ``extra={"resumed": True}``; only missing/failed points execute.
+        Journal entries whose result file is missing or corrupt re-run.
     """
     from .. import obs
 
     configs = [dict(c) for c in configs]
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
+    if resume and journal is None:
+        raise ValueError("resume=True requires a journal")
     if not configs:
         return []
-    if jobs == 1 or len(configs) == 1:
-        return _run_inline(worker, configs, context, arrays, raise_on_error)
 
-    jobs = min(jobs, len(configs))
-    pack = SharedArrayPack.create(arrays) if arrays else None
-    t_start = time.perf_counter()
-    if obs.enabled():
-        obs.gauge("sweep.jobs", jobs)
-        if pack is not None:
-            obs.gauge("sweep.shared_bytes", pack.nbytes)
-    ctx = get_context(start_method or default_start_method())
     outcomes: list[SweepOutcome | None] = [None] * len(configs)
-    try:
-        with ProcessPoolExecutor(
-                max_workers=jobs, mp_context=ctx,
-                initializer=_worker_init,
-                initargs=(pack.spec() if pack else None, context)) as pool:
-            futures = [pool.submit(_worker_run, worker, i, config)
-                       for i, config in enumerate(configs)]
-            for i, fut in enumerate(futures):
-                try:
-                    payload = fut.result()
-                except BrokenProcessPool:
-                    raise SweepTaskError(
-                        configs[i],
-                        "worker process died before returning a result "
-                        "(killed or crashed hard); re-run with jobs=1 to "
-                        "reproduce in-process") from None
-                outcome = SweepOutcome(
-                    config=configs[i],
-                    result=payload.get("result"),
-                    error=None if payload["ok"] else payload["error"],
-                    worker_pid=payload["pid"],
-                    seconds=payload["seconds"])
-                outcomes[i] = outcome
-                _emit_outcome(outcome, i)
-                if not outcome.ok and raise_on_error:
-                    raise SweepTaskError(outcome.config, outcome.error)
-    finally:
-        if pack is not None:
-            pack.close()
-    wall = time.perf_counter() - t_start
-    done = [o for o in outcomes if o is not None]
-    if obs.enabled() and wall > 0:
-        busy = sum(o.seconds for o in done)
-        obs.gauge("sweep.utilization", busy / (jobs * wall))
-        by_pid: dict[int, float] = {}
-        for o in done:
-            by_pid[o.worker_pid] = by_pid.get(o.worker_pid, 0.0) + o.seconds
-        for pid, seconds in sorted(by_pid.items()):
-            obs.event("sweep_worker", worker_pid=pid, busy_s=seconds,
-                      wall_s=wall)
-    return done
+    keys: list[str] = ([journal.key(config) for config in configs]
+                       if journal is not None else [])
+    pending = list(range(len(configs)))
+    if journal is not None and resume:
+        pending = []
+        for i, config in enumerate(configs):
+            entry = journal.lookup(keys[i])
+            ok, result = (journal.load_result(entry) if entry is not None
+                          else (False, None))
+            if entry is not None and ok:
+                outcomes[i] = SweepOutcome(
+                    config=config, result=result,
+                    worker_pid=int(entry.get("worker_pid", 0)),
+                    seconds=float(entry.get("seconds", 0.0)),
+                    extra={"resumed": True})
+                if obs.enabled():
+                    obs.counter("sweep.tasks_resumed")
+            else:
+                pending.append(i)
+
+    def complete(index: int, outcome: SweepOutcome) -> None:
+        outcomes[index] = outcome
+        _emit_outcome(outcome, index)
+        if journal is not None and outcome.ok:
+            journal.record(keys[index], outcome.config, outcome.result,
+                           seconds=outcome.seconds,
+                           worker_pid=outcome.worker_pid)
+        if not outcome.ok and raise_on_error:
+            raise SweepTaskError(outcome.config, outcome.error) from None
+
+    if pending:
+        if jobs == 1 or len(pending) == 1:
+            _run_inline(worker, configs, pending, context, arrays, complete)
+        else:
+            _run_pool(worker, configs, pending, context, arrays,
+                      min(jobs, len(pending)), start_method, complete)
+    return [o for o in outcomes if o is not None]

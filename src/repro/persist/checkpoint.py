@@ -1,0 +1,241 @@
+"""The on-disk checkpoint format: one ``.npz`` of arrays + a JSON manifest.
+
+Every persisted artifact in this repository — cached prepared experiments,
+mid-stream learner checkpoints, journaled grid-point results — is a
+*checkpoint*: a flat ``name -> ndarray`` mapping stored as a compressed
+``.npz`` next to a small JSON manifest that carries
+
+* a **schema version** (readers reject manifests from the future),
+* a **kind** tag (``"prepared"`` / ``"learner"`` / ``"method_result"``),
+* a **content hash** (SHA-256 over array names, dtypes, shapes, and raw
+  bytes) that :func:`read_checkpoint` always re-verifies, and
+* free-form JSON **meta** (identity fields, RNG state, diagnostics).
+
+Writes are atomic at the file level: both files are written to ``.tmp``
+siblings and renamed into place, manifest last, so a crash mid-write can
+never leave a manifest pointing at half-written arrays — the manifest is
+the commit marker.  A checkpoint whose arrays do not match the manifest's
+hash raises :class:`CheckpointError` on read; cache layers treat that as a
+miss and rebuild.
+
+RNG state travels through the manifest: :func:`get_rng_state` snapshots a
+``numpy.random.Generator`` bit generator as plain JSON-able ints (Python's
+``json`` keeps arbitrary-precision integers exact) and
+:func:`set_rng_state` restores it in place, which is what makes killed
+runs resumable *bit-identically*.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import os
+import pathlib
+import zipfile
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+import numpy as np
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "Checkpoint",
+    "CheckpointError",
+    "content_hash",
+    "config_hash",
+    "write_checkpoint",
+    "read_checkpoint",
+    "read_manifest",
+    "get_rng_state",
+    "set_rng_state",
+    "json_sanitize",
+]
+
+#: Bump when the manifest layout changes incompatibly.  Readers accept any
+#: version <= theirs and refuse newer ones with a clear error.
+SCHEMA_VERSION = 1
+
+_MANIFEST_SUFFIX = ".json"
+_ARRAYS_SUFFIX = ".npz"
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint is missing, corrupt, or from an incompatible writer."""
+
+
+@dataclass
+class Checkpoint:
+    """One decoded checkpoint: arrays + manifest metadata."""
+
+    kind: str
+    arrays: dict[str, np.ndarray]
+    meta: dict = field(default_factory=dict)
+    path: pathlib.Path | None = None
+
+
+# ----------------------------------------------------------------------
+# Hashing
+# ----------------------------------------------------------------------
+def content_hash(arrays: Mapping[str, np.ndarray]) -> str:
+    """SHA-256 over array names, dtypes, shapes, and raw bytes.
+
+    Name-order independent (names are visited sorted); layout independent
+    (arrays are hashed C-contiguous).  This is the integrity check stored
+    in every manifest and the identity key of cached prepared experiments.
+    """
+    digest = hashlib.sha256()
+    for name in sorted(arrays):
+        arr = np.ascontiguousarray(arrays[name])
+        digest.update(name.encode())
+        digest.update(b"\x00")
+        digest.update(arr.dtype.str.encode())
+        digest.update(repr(arr.shape).encode())
+        digest.update(arr.tobytes() if arr.dtype.hasobject else
+                      memoryview(arr).cast("B"))
+    return digest.hexdigest()
+
+
+def json_sanitize(value: Any) -> Any:
+    """Recursively coerce numpy scalars/arrays into plain JSON-able types."""
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return [json_sanitize(v) for v in value.tolist()]
+    if isinstance(value, dict):
+        return {str(k): json_sanitize(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [json_sanitize(v) for v in value]
+    return value
+
+
+def config_hash(config: Any) -> str:
+    """Stable SHA-256 of a JSON-able configuration object.
+
+    Canonicalized with sorted keys, so dict insertion order never changes
+    the hash; numpy scalars are coerced first.  This keys the resume
+    journal: a grid point is "the same" iff its config hashes equal.
+    """
+    canonical = json.dumps(json_sanitize(config), sort_keys=True,
+                           separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# RNG state
+# ----------------------------------------------------------------------
+def get_rng_state(rng: np.random.Generator) -> dict:
+    """Snapshot a Generator's bit-generator state as a JSON-able dict."""
+    return json_sanitize(rng.bit_generator.state)
+
+
+def set_rng_state(rng: np.random.Generator, state: dict) -> None:
+    """Restore a snapshot from :func:`get_rng_state` into ``rng`` in place."""
+    current = type(rng.bit_generator).__name__
+    saved = state.get("bit_generator")
+    if saved != current:
+        raise CheckpointError(
+            f"RNG state is for bit generator {saved!r}, "
+            f"but the live generator is {current!r}")
+    rng.bit_generator.state = state
+
+
+# ----------------------------------------------------------------------
+# Read / write
+# ----------------------------------------------------------------------
+def _base(path: str | os.PathLike) -> pathlib.Path:
+    """Normalize ``foo`` / ``foo.npz`` / ``foo.json`` to the base path."""
+    path = pathlib.Path(path)
+    if path.suffix in (_ARRAYS_SUFFIX, _MANIFEST_SUFFIX):
+        path = path.with_suffix("")
+    return path
+
+
+def _atomic_write_bytes(path: pathlib.Path, data: bytes) -> None:
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as handle:
+        handle.write(data)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+
+
+def write_checkpoint(path: str | os.PathLike, *, kind: str,
+                     arrays: Mapping[str, np.ndarray],
+                     meta: dict | None = None) -> pathlib.Path:
+    """Write ``{path}.npz`` + ``{path}.json`` atomically; return the base.
+
+    ``meta`` must be JSON-serializable (run it through
+    :func:`json_sanitize` if it may contain numpy scalars).
+    """
+    base = _base(path)
+    base.parent.mkdir(parents=True, exist_ok=True)
+    arrays = {name: np.asarray(value) for name, value in arrays.items()}
+
+    payload = io.BytesIO()
+    np.savez_compressed(payload, **arrays)
+    _atomic_write_bytes(base.with_suffix(_ARRAYS_SUFFIX), payload.getvalue())
+
+    manifest = {
+        "schema": SCHEMA_VERSION,
+        "kind": kind,
+        "content_hash": content_hash(arrays),
+        "arrays": {name: [arr.dtype.str, list(arr.shape)]
+                   for name, arr in arrays.items()},
+        "meta": json_sanitize(meta or {}),
+    }
+    # Manifest second: its presence commits the checkpoint.
+    _atomic_write_bytes(base.with_suffix(_MANIFEST_SUFFIX),
+                        json.dumps(manifest, indent=1).encode())
+    return base
+
+
+def read_manifest(path: str | os.PathLike) -> dict:
+    """Load and schema-check a checkpoint manifest (no array IO)."""
+    base = _base(path)
+    manifest_path = base.with_suffix(_MANIFEST_SUFFIX)
+    if not manifest_path.is_file():
+        raise CheckpointError(f"no checkpoint manifest at {manifest_path}")
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise CheckpointError(f"unreadable manifest {manifest_path}: {exc}") \
+            from exc
+    schema = manifest.get("schema")
+    if not isinstance(schema, int) or schema > SCHEMA_VERSION:
+        raise CheckpointError(
+            f"{manifest_path}: schema {schema!r} is newer than this reader "
+            f"(supports <= {SCHEMA_VERSION})")
+    return manifest
+
+
+def read_checkpoint(path: str | os.PathLike, *,
+                    expected_kind: str | None = None,
+                    verify: bool = True) -> Checkpoint:
+    """Load a checkpoint, verifying kind and content hash.
+
+    Raises :class:`CheckpointError` on any mismatch — callers that use
+    checkpoints as caches catch it and rebuild.
+    """
+    base = _base(path)
+    manifest = read_manifest(base)
+    kind = manifest.get("kind", "")
+    if expected_kind is not None and kind != expected_kind:
+        raise CheckpointError(
+            f"{base}: kind {kind!r}, expected {expected_kind!r}")
+    arrays_path = base.with_suffix(_ARRAYS_SUFFIX)
+    if not arrays_path.is_file():
+        raise CheckpointError(f"{base}: manifest present but {arrays_path} "
+                              f"is missing")
+    try:
+        with np.load(arrays_path) as archive:
+            arrays = {name: archive[name] for name in archive.files}
+    except (OSError, ValueError, zipfile.BadZipFile) as exc:
+        raise CheckpointError(f"{base}: unreadable arrays: {exc}") from exc
+    if set(arrays) != set(manifest.get("arrays", {})):
+        raise CheckpointError(f"{base}: array names differ from manifest")
+    if verify and content_hash(arrays) != manifest.get("content_hash"):
+        raise CheckpointError(f"{base}: content hash mismatch "
+                              f"(arrays corrupt or manually edited)")
+    return Checkpoint(kind=kind, arrays=arrays, meta=manifest.get("meta", {}),
+                      path=base)

@@ -1,0 +1,129 @@
+"""Append-only resume journal for interrupted experiment grids.
+
+One JSON line per *completed* grid point, appended (and fsynced) by the
+parent process the moment the point's result is safely on disk.  A grid
+re-run with ``resume=True`` loads the journal, skips every config whose
+key is already present, and loads the persisted result instead of
+recomputing it — a crashed sweep therefore re-executes only the missing
+or failed points.
+
+Keys are :func:`~repro.persist.checkpoint.config_hash` digests of
+``{"scope": ..., "config": ...}``, where *scope* identifies the prepared
+experiment (dataset, profile, content hash of the packed arrays).  Two
+grids over differently-pretrained experiments therefore never collide in
+one journal file, and a journal recorded against one pretrain state is
+automatically ignored by a resume against another — the same property
+that keys the fixed per-worker prepared cache.
+
+Crash tolerance: a process killed mid-append leaves at most one truncated
+trailing line, which the loader skips; everything before it is intact
+because each record is flushed and fsynced before the sweep moves on.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+from typing import Any, Callable
+
+from .checkpoint import config_hash, json_sanitize
+
+__all__ = ["ResumeJournal"]
+
+#: ``save_result(key, result) -> relative path`` / ``load_result(path) -> result``
+SaveResult = Callable[[str, Any], str]
+LoadResult = Callable[[str], Any]
+
+
+class ResumeJournal:
+    """Journal of completed grid points, keyed by scoped config hash."""
+
+    def __init__(self, path: str | os.PathLike, *,
+                 scope: Any = None,
+                 save_result: SaveResult | None = None,
+                 load_result: LoadResult | None = None) -> None:
+        self.path = pathlib.Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._scope = json_sanitize(scope)
+        self._save_result = save_result
+        self._load_result = load_result
+        self._entries: dict[str, dict] = {}
+        self._skipped_lines = 0
+        self._load()
+
+    # -- loading -----------------------------------------------------------
+    def _load(self) -> None:
+        if not self.path.is_file():
+            return
+        for line in self.path.read_text().splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                # Truncated tail of a crashed append; everything before it
+                # was fsynced, so just drop the fragment.
+                self._skipped_lines += 1
+                continue
+            key = entry.get("key")
+            if isinstance(key, str):
+                self._entries[key] = entry
+
+    # -- inspection --------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def entries(self) -> dict[str, dict]:
+        """Completed entries by key (last write wins)."""
+        return dict(self._entries)
+
+    @property
+    def skipped_lines(self) -> int:
+        """Unparseable (truncated) lines dropped while loading."""
+        return self._skipped_lines
+
+    def key(self, config: Any) -> str:
+        """The journal key of a config under this journal's scope."""
+        return config_hash({"scope": self._scope, "config": config})
+
+    def lookup(self, key: str) -> dict | None:
+        return self._entries.get(key)
+
+    # -- results -----------------------------------------------------------
+    def load_result(self, entry: dict) -> tuple[bool, Any]:
+        """(ok, result) for a journal entry; ``(False, None)`` when the
+        persisted result is missing or corrupt (the point must re-run)."""
+        if self._load_result is None:
+            return True, None
+        result_path = entry.get("result_path")
+        if not result_path:
+            return False, None
+        try:
+            return True, self._load_result(result_path)
+        except Exception:
+            return False, None
+
+    # -- recording ---------------------------------------------------------
+    def record(self, key: str, config: Any, result: Any = None, *,
+               seconds: float = 0.0, worker_pid: int = 0) -> dict:
+        """Persist a completed point's result, then append its journal line.
+
+        Result first, line second: a crash between the two leaves an
+        orphaned result file (harmless) rather than a journal line whose
+        result is missing.
+        """
+        result_path = (self._save_result(key, result)
+                       if self._save_result is not None else None)
+        entry = {"key": key, "config": json_sanitize(config),
+                 "result_path": result_path,
+                 "seconds": round(float(seconds), 6),
+                 "worker_pid": int(worker_pid)}
+        with open(self.path, "a") as handle:
+            handle.write(json.dumps(entry) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        self._entries[key] = entry
+        return entry

@@ -1,0 +1,116 @@
+"""Mid-stream learner checkpoints: kill a run, resume it bit-identically.
+
+:meth:`~repro.core.learner.OnDeviceLearner.run` calls
+:func:`save_learner_checkpoint` every ``checkpoint_every`` segments.  Each
+checkpoint captures everything the streaming loop needs to continue as if
+it had never stopped:
+
+* the learner's :meth:`checkpoint` arrays (model parameters + subclass
+  state such as the synthetic buffer),
+* the evaluation history so far (curve arrays + diagnostics),
+* the loop cursor (segment index, samples seen, last retrain segment),
+* the learner's RNG state (exact big-int snapshot in the manifest).
+
+The stream itself is *not* stored: stream order is precomputed from the
+experiment seed at construction, so the resuming run rebuilds the same
+stream and fast-forwards past the already-consumed segments.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import numpy as np
+
+from .checkpoint import (Checkpoint, CheckpointError, get_rng_state,
+                         json_sanitize, read_checkpoint, read_manifest,
+                         set_rng_state, write_checkpoint)
+
+__all__ = [
+    "save_learner_checkpoint",
+    "latest_learner_checkpoint",
+    "list_learner_checkpoints",
+    "restore_learner",
+]
+
+KIND = "learner"
+_PREFIX = "segment-"
+
+
+def _checkpoint_base(directory: pathlib.Path, segment_index: int) -> pathlib.Path:
+    return directory / f"{_PREFIX}{segment_index:06d}"
+
+
+def save_learner_checkpoint(directory: str | os.PathLike, learner, *,
+                            segment_index: int, samples_seen: int,
+                            trained_at: int, history) -> pathlib.Path:
+    """Snapshot a learner mid-stream, right after ``segment_index``."""
+    arrays = dict(learner.checkpoint())
+    arrays["history.samples_seen"] = np.asarray(history.samples_seen,
+                                                dtype=np.int64)
+    arrays["history.accuracy"] = np.asarray(history.accuracy,
+                                            dtype=np.float64)
+    meta = {
+        "segment_index": int(segment_index),
+        "samples_seen": int(samples_seen),
+        "trained_at": int(trained_at),
+        "rng_state": get_rng_state(learner.rng),
+        "diagnostics": json_sanitize(history.diagnostics),
+    }
+    return write_checkpoint(_checkpoint_base(pathlib.Path(directory),
+                                             segment_index),
+                            kind=KIND, arrays=arrays, meta=meta)
+
+
+def list_learner_checkpoints(directory: str | os.PathLike) -> list[pathlib.Path]:
+    """Valid learner checkpoint bases in ``directory``, oldest first."""
+    directory = pathlib.Path(directory)
+    if not directory.is_dir():
+        return []
+    bases = []
+    for manifest in sorted(directory.glob(f"{_PREFIX}*.json")):
+        try:
+            if read_manifest(manifest).get("kind") == KIND:
+                bases.append(manifest.with_suffix(""))
+        except CheckpointError:
+            continue
+    return bases
+
+
+def latest_learner_checkpoint(
+        directory: str | os.PathLike) -> Checkpoint | None:
+    """The newest *readable* learner checkpoint, or ``None``.
+
+    Walks backwards so a checkpoint corrupted by a crash mid-write (or a
+    partially synced disk) falls through to the previous good one.
+    """
+    for base in reversed(list_learner_checkpoints(directory)):
+        try:
+            return read_checkpoint(base, expected_kind=KIND)
+        except CheckpointError:
+            continue
+    return None
+
+
+def restore_learner(learner, ckpt: Checkpoint, history) -> dict:
+    """Load a checkpoint into a learner + history; returns the loop cursor.
+
+    Restores model/subclass arrays via :meth:`restore`, the RNG state in
+    place, and the evaluation history; the returned dict carries
+    ``segment_index`` / ``samples_seen`` / ``trained_at`` for the
+    streaming loop to fast-forward.
+    """
+    state = {name: value for name, value in ckpt.arrays.items()
+             if name.startswith(("model.", "extra."))}
+    learner.restore(state)
+    set_rng_state(learner.rng, ckpt.meta["rng_state"])
+    history.samples_seen[:] = [int(v)
+                               for v in ckpt.arrays["history.samples_seen"]]
+    history.accuracy[:] = [float(v) for v in ckpt.arrays["history.accuracy"]]
+    history.diagnostics[:] = list(ckpt.meta.get("diagnostics", []))
+    return {
+        "segment_index": int(ckpt.meta["segment_index"]),
+        "samples_seen": int(ckpt.meta["samples_seen"]),
+        "trained_at": int(ckpt.meta["trained_at"]),
+    }

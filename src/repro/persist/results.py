@@ -1,0 +1,92 @@
+"""Persisting :class:`~repro.experiments.common.MethodResult` to disk.
+
+A grid point's result is a small thing — a few floats, two history curves,
+and per-segment diagnostics — so each one becomes its own checkpoint file
+under ``<checkpoint_dir>/results/``.  Histories travel as arrays (exact
+int64/float64 round-trip); scalar fields and diagnostics travel through
+the JSON manifest, whose float encoding (``repr``) also round-trips every
+finite double bit-for-bit, so a result loaded from disk compares equal to
+the freshly computed one.
+
+Imports of the experiment types are deferred to call time:
+``repro.experiments`` imports this package for its cache layer, and a
+module-level import back into ``experiments`` would be circular.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import numpy as np
+
+from .checkpoint import json_sanitize, read_checkpoint, write_checkpoint
+
+__all__ = ["save_method_result", "load_method_result", "method_result_store"]
+
+KIND = "method_result"
+
+
+def save_method_result(path: str | os.PathLike, result) -> pathlib.Path:
+    """Write one MethodResult as a checkpoint; returns the base path."""
+    history = result.history
+    arrays = {
+        "samples_seen": np.asarray(history.samples_seen, dtype=np.int64),
+        "accuracy": np.asarray(history.accuracy, dtype=np.float64),
+    }
+    meta = {
+        "method": result.method,
+        "ipc": int(result.ipc),
+        "seed": int(result.seed),
+        "final_accuracy": float(result.final_accuracy),
+        "wall_seconds": float(result.wall_seconds),
+        "condense_seconds": float(result.condense_seconds),
+        "condense_passes": int(result.condense_passes),
+        "extra": json_sanitize(result.extra),
+        "diagnostics": json_sanitize(history.diagnostics),
+    }
+    return write_checkpoint(path, kind=KIND, arrays=arrays, meta=meta)
+
+
+def load_method_result(path: str | os.PathLike):
+    """Load a MethodResult previously written by :func:`save_method_result`.
+
+    Raises :class:`~repro.persist.checkpoint.CheckpointError` when the file
+    is missing or corrupt.
+    """
+    from ..core.learner import LearnerHistory
+    from ..experiments.common import MethodResult
+
+    ckpt = read_checkpoint(path, expected_kind=KIND)
+    meta = ckpt.meta
+    history = LearnerHistory(
+        samples_seen=[int(v) for v in ckpt.arrays["samples_seen"]],
+        accuracy=[float(v) for v in ckpt.arrays["accuracy"]],
+        diagnostics=list(meta.get("diagnostics", [])),
+    )
+    return MethodResult(
+        method=meta["method"], ipc=meta["ipc"], seed=meta["seed"],
+        final_accuracy=meta["final_accuracy"], history=history,
+        wall_seconds=meta["wall_seconds"],
+        condense_seconds=meta["condense_seconds"],
+        condense_passes=meta["condense_passes"],
+        extra=dict(meta.get("extra", {})))
+
+
+def method_result_store(directory: str | os.PathLike):
+    """(save, load) callables for a :class:`~repro.persist.ResumeJournal`.
+
+    Results land under ``directory`` named by the first 24 hex chars of
+    their journal key; the journal stores the path relative to its own
+    directory so a checkpoint dir can be moved wholesale.
+    """
+    directory = pathlib.Path(directory)
+
+    def save(key: str, result) -> str:
+        base = save_method_result(directory / key[:24], result)
+        return os.path.join(directory.name, base.name)
+
+    def load(result_path: str):
+        return load_method_result(directory.parent / result_path)
+
+    return save, load

@@ -1,0 +1,146 @@
+"""End-to-end crash/resume self-check (the resume leg of ``repro-check``).
+
+Run as ``python -m repro.persist.selfcheck``.  Exercises the persistence
+stack the way a real interrupted sweep would:
+
+1. **Reference** — a 2-point grid run serially, no persistence.
+2. **Crash** — the same grid with ``jobs=2`` and a checkpoint dir, with
+   the second config corrupted to an unknown method: the sweep dies with
+   :class:`~repro.parallel.SweepTaskError` after the first point
+   completed and was journaled.
+3. **Reload** — the in-process prepared cache is dropped and the
+   prepared experiment reloaded from its on-disk checkpoint; the weights
+   must round-trip byte-identically or the journal scope (keyed by the
+   packed arrays' content hash) would not match and nothing would be
+   skipped.
+4. **Resume** — the corrected grid re-runs with ``resume=True``: the
+   journal must grow by exactly one line (the completed point was
+   skipped, not recomputed) and the merged results must be bit-identical
+   to the uninterrupted reference run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+import tempfile
+import time
+
+import numpy as np
+
+DATASET = "core50"
+PROFILE = "micro"
+CONFIGS = (
+    {"method": "fifo", "ipc": 1, "seed": 0},
+    {"method": "deco", "ipc": 1, "seed": 0},
+)
+
+
+class SelfCheckFailure(AssertionError):
+    pass
+
+
+def _check(condition: bool, message: str) -> None:
+    if not condition:
+        raise SelfCheckFailure(message)
+
+
+def _journal_lines(path: pathlib.Path) -> list[str]:
+    return [line for line in path.read_text().splitlines() if line.strip()]
+
+
+def _canon(value) -> str:
+    """Canonical JSON text: exact float repr, NaN == NaN, sorted keys."""
+    import json
+
+    from .checkpoint import json_sanitize
+
+    return json.dumps(json_sanitize(value), sort_keys=True)
+
+
+def _check_identical(reference, resumed, label: str) -> None:
+    _check(reference.method == resumed.method,
+           f"{label}: method {resumed.method!r} != {reference.method!r}")
+    _check(reference.final_accuracy == resumed.final_accuracy,
+           f"{label}: final accuracy {resumed.final_accuracy!r} != "
+           f"{reference.final_accuracy!r}")
+    _check(list(reference.history.samples_seen)
+           == list(resumed.history.samples_seen),
+           f"{label}: samples_seen curves differ")
+    _check(list(reference.history.accuracy) == list(resumed.history.accuracy),
+           f"{label}: accuracy curves differ")
+    _check(_canon(reference.history.diagnostics)
+           == _canon(resumed.history.diagnostics),
+           f"{label}: diagnostics differ")
+
+
+def main() -> int:
+    from ..experiments import common
+    from ..experiments.common import prepare_experiment
+    from ..experiments.grid import run_method_grid
+    from ..parallel import SweepTaskError
+    from .prepared_cache import save_prepared
+
+    t0 = time.perf_counter()
+    configs = [dict(c) for c in CONFIGS]
+
+    print(f"[selfcheck] reference: {len(configs)}-point grid on "
+          f"{DATASET}/{PROFILE}, jobs=1, no persistence")
+    prepared = prepare_experiment(DATASET, PROFILE, seed=0)
+    reference = run_method_grid(prepared, configs, jobs=1)
+
+    with tempfile.TemporaryDirectory(prefix="repro-selfcheck-") as tmp:
+        ckpt_dir = pathlib.Path(tmp) / "ckpt"
+        journal_path = ckpt_dir / "journal.jsonl"
+        save_prepared(ckpt_dir / "prepared", prepared, seed=0)
+
+        print("[selfcheck] crash: jobs=2 grid with a corrupted second "
+              "config, checkpointing enabled")
+        broken = [dict(configs[0]), dict(configs[1], method="no_such_method")]
+        try:
+            run_method_grid(prepared, broken, jobs=2,
+                            checkpoint_dir=ckpt_dir)
+        except SweepTaskError:
+            pass
+        else:
+            raise SelfCheckFailure("corrupted grid point did not raise "
+                                   "SweepTaskError")
+        _check(journal_path.is_file(), "crashed sweep left no journal")
+        lines = _journal_lines(journal_path)
+        _check(len(lines) == 1,
+               f"expected 1 journaled point after the crash, got "
+               f"{len(lines)}")
+
+        print("[selfcheck] reload: prepared experiment from the on-disk "
+              "cache (in-process cache dropped)")
+        common._PREPARED_CACHE.clear()
+        reloaded = prepare_experiment(DATASET, PROFILE, seed=0,
+                                      cache_dir=ckpt_dir / "prepared")
+        state, restate = (prepared.model.state_dict(),
+                          reloaded.model.state_dict())
+        for name in state:
+            _check(np.array_equal(state[name], restate[name]),
+                   f"reloaded model parameter {name!r} differs")
+
+        print("[selfcheck] resume: corrected grid with resume=True")
+        resumed = run_method_grid(reloaded, configs, jobs=2,
+                                  checkpoint_dir=ckpt_dir, resume=True)
+        lines = _journal_lines(journal_path)
+        _check(len(lines) == 2,
+               f"resume should add exactly 1 journal line (completed "
+               f"point skipped); journal has {len(lines)}")
+        _check(len(resumed) == len(reference), "resumed grid lost results")
+        for ref, res in zip(reference, resumed):
+            _check_identical(ref, res, f"{ref.method}")
+
+    print(f"[selfcheck] OK: resumed grid bit-identical to the clean run "
+          f"({time.perf_counter() - t0:.1f}s)")
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except SelfCheckFailure as exc:
+        print(f"[selfcheck] FAILED: {exc}")
+        sys.exit(1)

@@ -1,0 +1,121 @@
+"""``repro checkpoints DIR`` — inspect a checkpoint directory.
+
+Walks the directory for checkpoint manifests and journals and renders a
+human-readable report: cached prepared experiments, journaled grid points
+(with their persisted results), and mid-stream learner checkpoints,
+flagging anything unreadable or failing its content hash.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+from .checkpoint import CheckpointError, read_checkpoint, read_manifest
+from .journal import ResumeJournal
+
+__all__ = ["summarize_checkpoint_dir"]
+
+
+def _file_size(base: pathlib.Path) -> int:
+    size = 0
+    for suffix in (".npz", ".json"):
+        path = base.with_suffix(suffix)
+        if path.is_file():
+            size += path.stat().st_size
+    return size
+
+
+def _verify(base: pathlib.Path) -> str:
+    """'ok' when arrays match the manifest hash, else the failure reason."""
+    try:
+        read_checkpoint(base)
+        return "ok"
+    except CheckpointError as exc:
+        reason = str(exc)
+        return "CORRUPT: " + (reason.split(": ", 1)[-1][:60])
+
+
+def summarize_checkpoint_dir(directory: str | os.PathLike) -> str:
+    """Render the contents of a checkpoint directory as tables."""
+    from ..experiments.reporting import format_table
+
+    directory = pathlib.Path(directory)
+    if not directory.is_dir():
+        raise FileNotFoundError(f"no checkpoint directory at {directory}")
+
+    manifests: list[tuple[pathlib.Path, dict | None]] = []
+    journals: list[pathlib.Path] = []
+    for path in sorted(directory.rglob("*")):
+        if path.name.endswith(".json") and not path.name.endswith(".tmp"):
+            try:
+                manifests.append((path.with_suffix(""), read_manifest(path)))
+            except CheckpointError:
+                manifests.append((path.with_suffix(""), None))
+        elif path.name == "journal.jsonl":
+            journals.append(path)
+
+    sections: list[str] = []
+    by_kind: dict[str, list[pathlib.Path]] = {}
+    broken: list[pathlib.Path] = []
+    for base, manifest in manifests:
+        if manifest is None:
+            broken.append(base)
+        else:
+            by_kind.setdefault(manifest.get("kind", "?"), []).append(base)
+
+    if "prepared" in by_kind:
+        rows = []
+        for base in by_kind["prepared"]:
+            meta = read_manifest(base).get("meta", {})
+            rows.append([meta.get("dataset_name", "?"),
+                         meta.get("profile_name", "?"),
+                         str(meta.get("seed", "?")),
+                         f"{meta.get('pretrain_accuracy', float('nan')):.2%}",
+                         f"{_file_size(base) / 1e6:.2f} MB",
+                         _verify(base)])
+        sections.append(format_table(
+            ["dataset", "profile", "seed", "pretrain acc", "size", "state"],
+            rows, title=f"Prepared-experiment cache ({len(rows)} entries)"))
+
+    for journal_path in journals:
+        journal = ResumeJournal(journal_path)
+        rows = []
+        for entry in journal.entries.values():
+            config = entry.get("config") or {}
+            result_path = entry.get("result_path") or "-"
+            state = "-"
+            if entry.get("result_path"):
+                state = _verify(journal_path.parent / entry["result_path"])
+            rows.append([entry["key"][:12],
+                         str(config)[:48],
+                         f"{entry.get('seconds', 0.0):.1f}s",
+                         result_path,
+                         state])
+        title = (f"Resume journal {journal_path.relative_to(directory)} "
+                 f"({len(rows)} completed"
+                 + (f", {journal.skipped_lines} truncated line(s) dropped"
+                    if journal.skipped_lines else "") + ")")
+        sections.append(format_table(
+            ["key", "config", "time", "result", "state"], rows, title=title))
+
+    if "learner" in by_kind:
+        rows = []
+        for base in by_kind["learner"]:
+            meta = read_manifest(base).get("meta", {})
+            rows.append([str(base.parent.relative_to(directory)),
+                         str(meta.get("segment_index", "?")),
+                         str(meta.get("samples_seen", "?")),
+                         str(meta.get("trained_at", "?")),
+                         _verify(base)])
+        sections.append(format_table(
+            ["dir", "segment", "samples seen", "last retrain", "state"],
+            rows, title=f"Learner checkpoints ({len(rows)})"))
+
+    if broken:
+        sections.append("Unreadable manifests:\n" + "\n".join(
+            f"  {base}" for base in broken))
+
+    if not sections:
+        return f"{directory}: no checkpoints found"
+    return "\n\n".join(sections)

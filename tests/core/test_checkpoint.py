@@ -51,12 +51,25 @@ class TestCheckpoint:
         b.restore(load_array_dict(path))
         np.testing.assert_array_equal(a.buffer.images, b.buffer.images)
 
-    def test_base_learner_checkpoints_model_only(self):
+    def test_upper_bound_checkpoints_model_and_seen_set(self):
         model = ConvNet(1, 3, 8, width=4, depth=2,
                         rng=np.random.default_rng(2))
         learner = UpperBoundLearner(model,
                                     config=LearnerConfig(beta=1,
                                                          train_epochs=1))
+        rng = np.random.default_rng(0)
+        images = rng.standard_normal((4, 1, 8, 8)).astype(np.float32)
+        labels = np.array([0, 1, 2, 0], dtype=np.int64)
+        learner._images.append(images)
+        learner._labels.append(labels)
         state = learner.checkpoint()
-        assert all(key.startswith("model.") for key in state)
-        learner.restore(state)  # no-op extra state must not raise
+        assert any(key.startswith("model.") for key in state)
+        assert "extra.seen_images" in state
+
+        other = UpperBoundLearner(
+            ConvNet(1, 3, 8, width=4, depth=2, rng=np.random.default_rng(9)),
+            config=LearnerConfig(beta=1, train_epochs=1))
+        other.restore(state)
+        x, y = other.training_set()
+        np.testing.assert_array_equal(x, images)
+        np.testing.assert_array_equal(y, labels)

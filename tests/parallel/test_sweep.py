@@ -151,3 +151,138 @@ def test_default_start_method_env_override(monkeypatch):
         sweep.default_start_method()
     monkeypatch.delenv("REPRO_MP_START")
     assert sweep.default_start_method() in ("fork", "spawn")
+
+
+# ----------------------------------------------------------------------
+# Journal integration
+# ----------------------------------------------------------------------
+def test_sweep_records_and_resumes_via_journal(tmp_path):
+    from repro.persist import ResumeJournal
+    configs = [{"i": i} for i in range(3)]
+    journal = ResumeJournal(tmp_path / "j.jsonl")
+    run_sweep(_square_worker, configs, jobs=1, journal=journal)
+    assert len(journal) == 3
+
+    reloaded = ResumeJournal(tmp_path / "j.jsonl")
+    outcomes = run_sweep(_square_worker, configs, jobs=1, journal=reloaded,
+                         resume=True)
+    assert all(o.extra.get("resumed") for o in outcomes)
+    # Nothing re-executed, so nothing new was appended.
+    assert len(ResumeJournal(tmp_path / "j.jsonl")) == 3
+
+
+def test_sweep_resume_requires_journal():
+    with pytest.raises(ValueError, match="journal"):
+        run_sweep(_square_worker, [{"i": 0}], resume=True)
+
+
+def test_sweep_does_not_journal_failures(tmp_path):
+    from repro.persist import ResumeJournal
+    journal = ResumeJournal(tmp_path / "j.jsonl")
+    configs = [{"i": 0}, {"i": 1, "boom": True}]
+    with pytest.raises(SweepTaskError):
+        run_sweep(_crashy_worker, configs, jobs=1, journal=journal)
+    reloaded = ResumeJournal(tmp_path / "j.jsonl")
+    assert len(reloaded) == 1
+    assert reloaded.lookup(reloaded.key(configs[0])) is not None
+    assert reloaded.lookup(reloaded.key(configs[1])) is None
+
+
+# ----------------------------------------------------------------------
+# Resource-tracker patch (shm attach on Python < 3.13)
+# ----------------------------------------------------------------------
+def test_tracker_patch_is_reentrant_and_restores():
+    from multiprocessing import resource_tracker
+    original = resource_tracker.register
+    with sweep._untracked_shm_attach():
+        with sweep._untracked_shm_attach():  # nested attach must not break
+            assert resource_tracker.register is not original
+        assert resource_tracker.register is not original
+    assert resource_tracker.register is original
+    assert sweep._TRACKER_PATCH_DEPTH == 0
+
+
+def test_tracker_patch_restores_after_exception():
+    from multiprocessing import resource_tracker
+    original = resource_tracker.register
+    with pytest.raises(RuntimeError):
+        with sweep._untracked_shm_attach():
+            raise RuntimeError("attach failed")
+    assert resource_tracker.register is original
+
+
+def test_tracker_patch_thread_safe():
+    """Concurrent attachers must never capture another attacher's no-op as
+    the 'original' register (the bug an unlocked patch allows)."""
+    import threading
+    from multiprocessing import resource_tracker
+    original = resource_tracker.register
+    errors = []
+
+    def attach_loop():
+        try:
+            for _ in range(200):
+                with sweep._untracked_shm_attach():
+                    pass
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [threading.Thread(target=attach_loop) for _ in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    assert resource_tracker.register is original
+    assert sweep._TRACKER_PATCH_DEPTH == 0
+
+
+# ----------------------------------------------------------------------
+# Shared-memory lifecycle: no leaked segments, whatever fails
+# ----------------------------------------------------------------------
+@pytest.fixture
+def track_created_packs(monkeypatch):
+    """Capture every SharedArrayPack the sweep creates internally."""
+    created = []
+    original = SharedArrayPack.create.__func__
+
+    def capture(cls, arrays):
+        pack = original(cls, arrays)
+        created.append(pack)
+        return pack
+
+    monkeypatch.setattr(SharedArrayPack, "create", classmethod(capture))
+    return created
+
+
+def _assert_unlinked(pack):
+    from multiprocessing import shared_memory
+    with pytest.raises(FileNotFoundError):
+        shared_memory.SharedMemory(name=pack._shm.name)
+
+
+def test_no_leaked_segment_after_sweep_task_error(track_created_packs):
+    configs = [{"i": 0}, {"i": 1, "boom": True}, {"i": 2}]
+    with pytest.raises(SweepTaskError):
+        run_sweep(_crashy_worker, configs, jobs=2,
+                  arrays={"base": np.array([1.0])})
+    assert len(track_created_packs) == 1
+    _assert_unlinked(track_created_packs[0])
+
+
+def test_no_leaked_segment_when_pool_startup_fails(track_created_packs):
+    # A bad start method raises between pack creation and pool spin-up —
+    # exactly the window the try/finally must cover.
+    with pytest.raises(ValueError):
+        run_sweep(_square_worker, [{"i": 0}, {"i": 1}], jobs=2,
+                  arrays={"base": np.array([1.0])},
+                  start_method="not-a-method")
+    assert len(track_created_packs) == 1
+    _assert_unlinked(track_created_packs[0])
+
+
+def test_no_leaked_segment_after_clean_sweep(track_created_packs):
+    run_sweep(_square_worker, [{"i": i} for i in range(3)], jobs=2,
+              arrays={"base": np.array([1.0])})
+    assert len(track_created_packs) == 1
+    _assert_unlinked(track_created_packs[0])

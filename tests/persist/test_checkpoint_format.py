@@ -1,0 +1,140 @@
+"""Unit tests for the on-disk checkpoint format (npz + JSON manifest)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.persist import (SCHEMA_VERSION, CheckpointError, config_hash,
+                           content_hash, get_rng_state, json_sanitize,
+                           read_checkpoint, read_manifest, set_rng_state,
+                           write_checkpoint)
+
+ARRAYS = {
+    "weights": np.arange(12, dtype=np.float32).reshape(3, 4),
+    "labels": np.array([0, 1, 2], dtype=np.int64),
+}
+
+
+class TestRoundTrip:
+    def test_arrays_and_meta_round_trip(self, tmp_path):
+        base = write_checkpoint(tmp_path / "ck", kind="test", arrays=ARRAYS,
+                                meta={"seed": 3, "note": "hi"})
+        ckpt = read_checkpoint(base, expected_kind="test")
+        assert ckpt.kind == "test"
+        assert ckpt.meta == {"seed": 3, "note": "hi"}
+        for name, arr in ARRAYS.items():
+            np.testing.assert_array_equal(ckpt.arrays[name], arr)
+            assert ckpt.arrays[name].dtype == arr.dtype
+
+    def test_accepts_any_suffix_spelling(self, tmp_path):
+        write_checkpoint(tmp_path / "ck.npz", kind="test", arrays=ARRAYS)
+        assert read_checkpoint(tmp_path / "ck.json").kind == "test"
+        assert read_checkpoint(tmp_path / "ck").kind == "test"
+
+    def test_float_meta_round_trips_exactly(self, tmp_path):
+        value = 0.1 + 0.2  # not representable exactly; repr round-trips
+        base = write_checkpoint(tmp_path / "ck", kind="test", arrays={},
+                                meta={"x": value})
+        assert read_checkpoint(base).meta["x"] == value
+
+
+class TestValidation:
+    def test_missing_manifest_raises(self, tmp_path):
+        with pytest.raises(CheckpointError, match="no checkpoint manifest"):
+            read_checkpoint(tmp_path / "nope")
+
+    def test_kind_mismatch_raises(self, tmp_path):
+        base = write_checkpoint(tmp_path / "ck", kind="test", arrays=ARRAYS)
+        with pytest.raises(CheckpointError, match="kind"):
+            read_checkpoint(base, expected_kind="other")
+
+    def test_corrupt_arrays_raise(self, tmp_path):
+        base = write_checkpoint(tmp_path / "ck", kind="test", arrays=ARRAYS)
+        npz = base.with_suffix(".npz")
+        npz.write_bytes(npz.read_bytes()[:-20])
+        with pytest.raises(CheckpointError):
+            read_checkpoint(base)
+
+    def test_swapped_arrays_fail_content_hash(self, tmp_path):
+        a = write_checkpoint(tmp_path / "a", kind="test", arrays=ARRAYS)
+        other = {name: arr + 1 for name, arr in ARRAYS.items()}
+        b = write_checkpoint(tmp_path / "b", kind="test", arrays=other)
+        a.with_suffix(".npz").write_bytes(b.with_suffix(".npz").read_bytes())
+        with pytest.raises(CheckpointError, match="content hash"):
+            read_checkpoint(a)
+
+    def test_missing_npz_raises(self, tmp_path):
+        base = write_checkpoint(tmp_path / "ck", kind="test", arrays=ARRAYS)
+        base.with_suffix(".npz").unlink()
+        with pytest.raises(CheckpointError, match="missing"):
+            read_checkpoint(base)
+
+    def test_future_schema_rejected(self, tmp_path):
+        base = write_checkpoint(tmp_path / "ck", kind="test", arrays=ARRAYS)
+        manifest = json.loads(base.with_suffix(".json").read_text())
+        manifest["schema"] = SCHEMA_VERSION + 1
+        base.with_suffix(".json").write_text(json.dumps(manifest))
+        with pytest.raises(CheckpointError, match="newer"):
+            read_manifest(base)
+
+
+class TestContentHash:
+    def test_name_order_independent(self):
+        a = {"x": np.ones(3), "y": np.zeros(2)}
+        b = {"y": np.zeros(2), "x": np.ones(3)}
+        assert content_hash(a) == content_hash(b)
+
+    def test_sensitive_to_bytes_dtype_and_shape(self):
+        base = {"x": np.arange(6, dtype=np.float64)}
+        assert content_hash(base) != content_hash(
+            {"x": np.arange(6, dtype=np.float32)})
+        assert content_hash(base) != content_hash(
+            {"x": np.arange(6, dtype=np.float64).reshape(2, 3)})
+        changed = {"x": np.arange(6, dtype=np.float64)}
+        changed["x"][0] = -1
+        assert content_hash(base) != content_hash(changed)
+
+    def test_layout_independent(self):
+        arr = np.arange(12, dtype=np.float32).reshape(3, 4)
+        assert content_hash({"x": arr}) == content_hash(
+            {"x": np.asfortranarray(arr)})
+
+
+class TestConfigHash:
+    def test_key_order_independent(self):
+        assert (config_hash({"a": 1, "b": 2})
+                == config_hash({"b": 2, "a": 1}))
+
+    def test_numpy_scalars_normalized(self):
+        assert (config_hash({"ipc": np.int64(5)})
+                == config_hash({"ipc": 5}))
+
+    def test_different_values_differ(self):
+        assert config_hash({"a": 1}) != config_hash({"a": 2})
+
+
+class TestRngState:
+    def test_round_trip_through_json(self):
+        rng = np.random.default_rng(7)
+        rng.standard_normal(17)  # advance past the seed point
+        state = json.loads(json.dumps(get_rng_state(rng)))
+        other = np.random.default_rng(0)
+        set_rng_state(other, state)
+        np.testing.assert_array_equal(rng.standard_normal(32),
+                                      other.standard_normal(32))
+
+    def test_bit_generator_mismatch_rejected(self):
+        state = get_rng_state(np.random.default_rng(0))
+        state["bit_generator"] = "MT19937"
+        with pytest.raises(CheckpointError, match="bit generator"):
+            set_rng_state(np.random.default_rng(0), state)
+
+
+class TestJsonSanitize:
+    def test_numpy_types_become_plain(self):
+        value = {"f": np.float64(1.5), "i": np.int32(2),
+                 "a": np.arange(3), "nested": [np.bool_(True)]}
+        out = json_sanitize(value)
+        assert out == {"f": 1.5, "i": 2, "a": [0, 1, 2], "nested": [True]}
+        json.dumps(out)  # must be serializable as-is

@@ -1,0 +1,91 @@
+"""Unit tests for the append-only resume journal."""
+
+import json
+
+from repro.persist import ResumeJournal
+
+
+def make_store(directory):
+    """A toy result store: results are JSON files next to the journal."""
+    directory.mkdir(parents=True, exist_ok=True)
+
+    def save(key, result):
+        path = directory / f"{key[:16]}.json"
+        path.write_text(json.dumps(result))
+        return path.name
+
+    def load(result_path):
+        return json.loads((directory / result_path).read_text())
+
+    return save, load
+
+
+class TestRecordAndReload:
+    def test_record_then_lookup(self, tmp_path):
+        journal = ResumeJournal(tmp_path / "j.jsonl", scope={"ds": "a"})
+        key = journal.key({"method": "fifo"})
+        journal.record(key, {"method": "fifo"}, seconds=1.25, worker_pid=42)
+        entry = journal.lookup(key)
+        assert entry["config"] == {"method": "fifo"}
+        assert entry["seconds"] == 1.25
+        assert entry["worker_pid"] == 42
+        assert len(journal) == 1
+
+    def test_entries_survive_reload(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = ResumeJournal(path, scope={"ds": "a"})
+        key = journal.key({"method": "fifo"})
+        journal.record(key, {"method": "fifo"})
+        reloaded = ResumeJournal(path, scope={"ds": "a"})
+        assert reloaded.lookup(key) is not None
+        assert reloaded.key({"method": "fifo"}) == key
+
+    def test_results_round_trip(self, tmp_path):
+        save, load = make_store(tmp_path / "results")
+        journal = ResumeJournal(tmp_path / "j.jsonl", save_result=save,
+                                load_result=load)
+        key = journal.key({"n": 1})
+        journal.record(key, {"n": 1}, result={"accuracy": 0.5})
+        reloaded = ResumeJournal(tmp_path / "j.jsonl", save_result=save,
+                                 load_result=load)
+        ok, result = reloaded.load_result(reloaded.lookup(key))
+        assert ok and result == {"accuracy": 0.5}
+
+    def test_missing_result_file_is_a_miss(self, tmp_path):
+        save, load = make_store(tmp_path / "results")
+        journal = ResumeJournal(tmp_path / "j.jsonl", save_result=save,
+                                load_result=load)
+        key = journal.key({"n": 1})
+        entry = journal.record(key, {"n": 1}, result={"accuracy": 0.5})
+        (tmp_path / "results" / entry["result_path"]).unlink()
+        ok, result = journal.load_result(entry)
+        assert not ok and result is None
+
+
+class TestCrashTolerance:
+    def test_truncated_trailing_line_skipped(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = ResumeJournal(path)
+        key = journal.key({"n": 1})
+        journal.record(key, {"n": 1})
+        with open(path, "a") as handle:
+            handle.write('{"key": "deadbeef", "config"')  # killed mid-append
+        reloaded = ResumeJournal(path)
+        assert reloaded.skipped_lines == 1
+        assert len(reloaded) == 1
+        assert reloaded.lookup(key) is not None
+
+
+class TestScoping:
+    def test_same_config_different_scope_different_keys(self, tmp_path):
+        a = ResumeJournal(tmp_path / "j.jsonl", scope={"prepared": "hash-a"})
+        b = ResumeJournal(tmp_path / "j.jsonl", scope={"prepared": "hash-b"})
+        config = {"method": "deco", "ipc": 1}
+        assert a.key(config) != b.key(config)
+
+    def test_scoped_entries_invisible_to_other_scope(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        a = ResumeJournal(path, scope={"prepared": "hash-a"})
+        a.record(a.key({"n": 1}), {"n": 1})
+        b = ResumeJournal(path, scope={"prepared": "hash-b"})
+        assert b.lookup(b.key({"n": 1})) is None

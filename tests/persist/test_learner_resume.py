@@ -1,0 +1,164 @@
+"""Mid-stream learner kill/resume: the restored run must be bit-identical."""
+
+import numpy as np
+import pytest
+
+from repro.buffer.buffer import SyntheticBuffer
+from repro.condensation.one_step import OneStepMatcher
+from repro.core.deco import DECOLearner, condense_offline
+from repro.core.learner import LearnerConfig
+from repro.core.pseudo_label import MajorityVotePseudoLabeler
+from repro.core.training import train_model
+from repro.data.datasets import DatasetSpec, make_dataset
+from repro.data.stream import make_stream
+from repro.nn.convnet import ConvNet
+from repro.persist import (list_learner_checkpoints, read_checkpoint,
+                           write_checkpoint)
+
+DS = make_dataset(DatasetSpec(name="toy", num_classes=3, image_size=8,
+                              train_per_class=20, test_per_class=8,
+                              num_groups=3, num_sessions=1,
+                              class_separation=0.8, noise_std=0.5), seed=0)
+CONFIG = LearnerConfig(beta=2, train_epochs=4, lr=1e-2)
+
+
+def pretrained_model():
+    model = ConvNet(3, 3, 8, width=8, depth=2, rng=np.random.default_rng(0))
+    x, y = DS.pretrain_subset(0.3, rng=np.random.default_rng(0))
+    train_model(model, x, y, epochs=15, lr=1e-2,
+                rng=np.random.default_rng(0))
+    return model
+
+
+MODEL = pretrained_model()
+
+
+def make_learner():
+    """A deterministic DECO learner; every call builds an identical one."""
+    import copy
+    buffer = SyntheticBuffer(3, 2, DS.image_shape())
+    learner = DECOLearner(
+        copy.deepcopy(MODEL), buffer,
+        condenser=OneStepMatcher(iterations=2, alpha=0.1),
+        labeler=MajorityVotePseudoLabeler(0.4),
+        config=CONFIG, rng=np.random.default_rng(0))
+    condense_offline(buffer, *DS.pretrain_subset(0.3, rng=0),
+                     condenser=learner.condenser,
+                     model_factory=learner.model_factory, rng=0)
+    return learner
+
+
+def stream():
+    return make_stream(DS, segment_size=10, stc=10, rng=0)
+
+
+def run(learner, **kwargs):
+    return learner.run(stream(), x_test=DS.x_test, y_test=DS.y_test,
+                       eval_every=2, **kwargs)
+
+
+def assert_learners_identical(a, b):
+    for name, value in a.model.state_dict().items():
+        np.testing.assert_array_equal(value, b.model.state_dict()[name])
+    np.testing.assert_array_equal(a.buffer.images, b.buffer.images)
+    assert (a.rng.bit_generator.state == b.rng.bit_generator.state)
+
+
+class TestKillAndResume:
+    def test_resumed_run_is_bit_identical(self, tmp_path):
+        reference = make_learner()
+        ref_history = run(reference)
+
+        # The same run, checkpointing every 2 segments ...
+        victim = make_learner()
+        run(victim, checkpoint_every=2, checkpoint_dir=tmp_path)
+        bases = list_learner_checkpoints(tmp_path)
+        assert len(bases) >= 2
+        # ... now simulate a kill after the *first* checkpoint by deleting
+        # every later one, and resume a fresh learner from what's left.
+        for base in bases[1:]:
+            base.with_suffix(".npz").unlink()
+            base.with_suffix(".json").unlink()
+
+        resumed = make_learner()
+        res_history = run(resumed, checkpoint_dir=tmp_path, resume=True)
+
+        assert res_history.accuracy == ref_history.accuracy
+        assert res_history.samples_seen == ref_history.samples_seen
+        assert res_history.final_accuracy == ref_history.final_accuracy
+        assert len(res_history.diagnostics) == len(ref_history.diagnostics)
+        assert_learners_identical(reference, resumed)
+
+    def test_checkpointing_does_not_perturb_the_run(self, tmp_path):
+        plain = make_learner()
+        checked = make_learner()
+        h_plain = run(plain)
+        h_checked = run(checked, checkpoint_every=1, checkpoint_dir=tmp_path)
+        assert h_plain.accuracy == h_checked.accuracy
+        assert_learners_identical(plain, checked)
+
+    def test_resume_with_empty_dir_runs_from_scratch(self, tmp_path):
+        reference = make_learner()
+        ref_history = run(reference)
+        fresh = make_learner()
+        history = run(fresh, checkpoint_dir=tmp_path, resume=True)
+        assert history.accuracy == ref_history.accuracy
+
+    def test_corrupt_newest_checkpoint_falls_back(self, tmp_path):
+        victim = make_learner()
+        run(victim, checkpoint_every=2, checkpoint_dir=tmp_path)
+        bases = list_learner_checkpoints(tmp_path)
+        newest = bases[-1].with_suffix(".npz")
+        newest.write_bytes(newest.read_bytes()[:50])  # crash mid-write
+        resumed = make_learner()
+        history = run(resumed, checkpoint_dir=tmp_path, resume=True)
+        reference = make_learner()
+        assert history.accuracy == run(reference).accuracy
+
+    def test_validation(self, tmp_path):
+        learner = make_learner()
+        with pytest.raises(ValueError, match="checkpoint_dir"):
+            run(learner, checkpoint_every=2)
+        with pytest.raises(ValueError, match="checkpoint_dir"):
+            run(learner, resume=True)
+        with pytest.raises(ValueError, match=">= 1"):
+            run(learner, checkpoint_every=0, checkpoint_dir=tmp_path)
+
+
+class TestBufferStateDict:
+    def test_synthetic_buffer_round_trips_byte_for_byte(self, tmp_path):
+        buffer = SyntheticBuffer(3, 2, (3, 8, 8))
+        buffer.init_random(np.random.default_rng(5))
+        base = write_checkpoint(tmp_path / "buf", kind="test",
+                                arrays=buffer.state_dict())
+        other = SyntheticBuffer(3, 2, (3, 8, 8))
+        other.load_state_dict(read_checkpoint(base).arrays)
+        assert other.images.tobytes() == buffer.images.tobytes()
+        assert other.images.dtype == buffer.images.dtype
+        np.testing.assert_array_equal(other.labels, buffer.labels)
+
+    def test_synthetic_buffer_rejects_label_layout_mismatch(self):
+        buffer = SyntheticBuffer(3, 2, (1, 8, 8))
+        state = buffer.state_dict()
+        state["labels"] = state["labels"][::-1].copy()
+        with pytest.raises(ValueError, match="label layout"):
+            buffer.load_state_dict(state)
+
+    def test_raw_buffer_round_trips_through_disk(self, tmp_path):
+        from repro.buffer.buffer import RawBuffer
+        rng = np.random.default_rng(3)
+        buffer = RawBuffer(4, (1, 8, 8))
+        for _ in range(3):
+            buffer.add(rng.standard_normal((1, 8, 8)).astype(np.float32),
+                       int(rng.integers(3)), confidence=float(rng.random()))
+        base = write_checkpoint(tmp_path / "raw", kind="test",
+                                arrays=buffer.state_dict())
+        other = RawBuffer(4, (1, 8, 8))
+        other.load_state_dict(read_checkpoint(base).arrays)
+        assert other.images.tobytes() == buffer.images.tobytes()
+        np.testing.assert_array_equal(other.labels, buffer.labels)
+        assert other.count == buffer.count
+        assert other.total_seen == buffer.total_seen
+        assert set(other.aux) == set(buffer.aux)
+        for key in buffer.aux:
+            np.testing.assert_array_equal(other.aux[key], buffer.aux[key])

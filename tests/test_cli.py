@@ -36,6 +36,18 @@ class TestParser:
         assert args.command == "obs"
         assert args.action == "summarize"
 
+    def test_checkpoint_flags(self):
+        args = build_parser().parse_args(
+            ["--checkpoint-dir", "/tmp/ck", "--resume", "table2"])
+        assert str(args.checkpoint_dir) == "/tmp/ck"
+        assert args.resume
+        args = build_parser().parse_args(["checkpoints", "/tmp/ck"])
+        assert args.command == "checkpoints"
+        assert str(args.dir) == "/tmp/ck"
+        args = build_parser().parse_args(
+            ["run", "--checkpoint-every", "5"])
+        assert args.checkpoint_every == 5
+
 
 class TestMain:
     def test_run_single_method(self, capsys):
@@ -70,6 +82,34 @@ class TestMain:
                      "--noise-rates", "0.0", "0.5"])
         assert code == 0
         assert "noise robustness" in capsys.readouterr().out
+
+    def test_resume_requires_checkpoint_dir(self):
+        with pytest.raises(SystemExit, match="checkpoint-dir"):
+            main(["--profile", "micro", "--resume", "table2", "--ipcs", "1"])
+
+    def test_checkpoint_every_requires_checkpoint_dir(self):
+        with pytest.raises(SystemExit, match="checkpoint-dir"):
+            main(["--profile", "micro", "run", "--ipc", "1",
+                  "--checkpoint-every", "2"])
+
+    def test_checkpoints_subcommand_missing_dir(self, tmp_path):
+        with pytest.raises(SystemExit, match="error"):
+            main(["checkpoints", str(tmp_path / "nope")])
+
+    def test_grid_checkpoint_resume_and_inspection(self, tmp_path, capsys):
+        ckpt = str(tmp_path / "ck")
+        base = ["--profile", "micro", "--checkpoint-dir", ckpt]
+        cmd = ["table2", "--ipcs", "1", "--condensers", "dm", "deco"]
+        assert main(base + cmd) == 0
+        first = capsys.readouterr().out
+
+        assert main(base + ["--resume"] + cmd) == 0
+        assert capsys.readouterr().out == first  # resumed run identical
+
+        assert main(["checkpoints", ckpt]) == 0
+        out = capsys.readouterr().out
+        assert "Resume journal" in out
+        assert "Prepared-experiment cache" in out
 
     def test_telemetry_run_and_summarize(self, tmp_path, capsys):
         run_dir = tmp_path / "trace"
