@@ -47,7 +47,13 @@ def timeit_once(fn) -> float:
 
 
 def merge_results(section: str, payload: dict) -> None:
-    """Merge ``payload`` under ``section`` in the shared JSON file."""
+    """Merge ``payload`` under ``section`` in the shared JSON file.
+
+    Besides refreshing the snapshot, every merge appends the section's
+    flat metrics as one line of the append-only bench history
+    (``bench_results/bench_history.jsonl``), which ``python -m repro obs
+    regress`` compares against the trailing baseline.
+    """
     RESULTS_PATH.parent.mkdir(exist_ok=True)
     data = {}
     if RESULTS_PATH.exists():
@@ -56,6 +62,25 @@ def merge_results(section: str, payload: dict) -> None:
     data.setdefault("meta", {})["platform"] = platform.platform()
     data["meta"]["numpy"] = np.__version__
     RESULTS_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    _append_history(section, data)
+
+
+def _append_history(section: str, data: dict) -> None:
+    import os
+
+    from repro.obs.regress import (HISTORY_FILENAME, append_history,
+                                   metrics_from_snapshot)
+    from repro.parallel import intra_op
+
+    metrics = metrics_from_snapshot(data, sections=(section,))
+    if not metrics:
+        return
+    tags = {"platform": data["meta"]["platform"],
+            "numpy": data["meta"]["numpy"],
+            "threads": intra_op.get_num_threads(),
+            "cpu_count": os.cpu_count()}
+    append_history(RESULTS_PATH.parent / HISTORY_FILENAME, section,
+                   metrics, tags)
 
 
 def timed_pair(fn, repeats: int) -> dict:

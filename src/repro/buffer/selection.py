@@ -60,6 +60,19 @@ class SelectionStrategy(abc.ABC):
             Randomness source.
         """
 
+    # -- persistence -------------------------------------------------------
+    # Strategies with private cursors outside the buffer (FIFO slot
+    # pointer, GSS gradient embeddings, herding candidate pools) override
+    # these so a killed/resumed replay run is bit-identical to an
+    # uninterrupted one.  Values must be numpy arrays (the checkpoint
+    # format is one ``.npz``); stateless strategies inherit the empty dict.
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Private selection state needed for bit-exact resume."""
+        return {}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Restore :meth:`state_dict` output (missing keys keep defaults)."""
+
 
 class RandomReservoir(SelectionStrategy):
     """Vitter's reservoir sampling: uniform retention over the whole stream."""
@@ -96,6 +109,13 @@ class FIFO(SelectionStrategy):
             else:
                 buffer.replace(self._next % buffer.capacity, x, int(y))
                 self._next += 1
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        return {"next": np.asarray(self._next, dtype=np.int64)}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        if "next" in state:
+            self._next = int(state["next"])
 
 
 class SelectiveBP(SelectionStrategy):
@@ -232,6 +252,16 @@ class GSSGreedy(SelectionStrategy):
                 self._errors[victim] = e
                 self._feats[victim] = f
 
+    def state_dict(self) -> dict[str, np.ndarray]:
+        if self._errors is None:
+            return {}
+        return {"errors": self._errors, "feats": self._feats}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        if "errors" in state and "feats" in state:
+            self._errors = np.asarray(state["errors"], dtype=np.float32)
+            self._feats = np.asarray(state["feats"], dtype=np.float32)
+
     def _max_similarity(self, e, f, buffer, rng) -> float:
         """Max gradient-cosine similarity to a random buffered subset."""
         n = len(buffer)
@@ -298,6 +328,21 @@ class Herding(SelectionStrategy):
                 if buffer.is_full:
                     return
                 buffer.add(pool[i], cls)
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        # One stacked array per non-empty class pool; the class id lives in
+        # the key so the whole dict round-trips through a flat ``.npz``.
+        return {f"pool.{cls}": np.stack(pool)
+                for cls, pool in sorted(self._pool_x.items()) if pool}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        pools = {}
+        for key, value in state.items():
+            if key.startswith("pool."):
+                cls = int(key[len("pool."):])
+                pools[cls] = [np.asarray(sample) for sample in value]
+        if pools:
+            self._pool_x = pools
 
 
 STRATEGY_NAMES = ("random", "fifo", "selective_bp", "k_center", "gss_greedy")

@@ -11,9 +11,16 @@ equivalent for this repo.  It runs, in order:
 4. the crash/resume selfcheck (``python -m repro.persist.selfcheck``): a
    2-job grid is crashed after its first completed point and resumed; the
    merged results must be bit-identical to a clean serial run;
-5. a one-repeat pass of the micro-benchmarks (kernel cases, one condense
+5. the observability selfcheck (``python -m repro.obs.selfcheck``): a
+   2-job grid runs with telemetry on; its merged worker shards must
+   aggregate to the serial run's counters, byte-deterministically;
+6. a one-repeat pass of the micro-benchmarks (kernel cases, one condense
    segment, and the parallel scaling matrix), which also refreshes the
-   counter snapshots attached to ``bench_results/micro_kernels.json``.
+   counter snapshots attached to ``bench_results/micro_kernels.json`` and
+   appends to the bench history;
+7. a bench-history regression dry-run (``python -m repro obs regress
+   --dry-run``): the trajectory verdict is printed; regressions are
+   reported but only fail ``repro-check`` when ``--strict-bench`` is set.
 
 Steps 2-3 need the repo checkout (``tests/`` and ``benchmarks/`` are not
 installed); they are skipped with a notice when run from elsewhere.
@@ -66,6 +73,9 @@ def main(argv: list[str] | None = None) -> int:
                         help="skip the micro-benchmark smoke pass")
     parser.add_argument("--bench-repeats", type=int, default=1,
                         help="best-of-N repeats for the micro benches")
+    parser.add_argument("--strict-bench", action="store_true",
+                        help="fail repro-check on bench-history "
+                             "regressions instead of only reporting them")
     args = parser.parse_args(argv)
 
     root = _repo_root()
@@ -94,6 +104,11 @@ def main(argv: list[str] | None = None) -> int:
         # to a clean serial run (see repro.persist.selfcheck).
         failures += _run([sys.executable, "-m", "repro.persist.selfcheck"],
                          root, "crash/resume selfcheck") != 0
+        # Observability leg: a 2-job grid with telemetry on must produce
+        # merged worker shards whose aggregated counters equal the serial
+        # run's (see repro.obs.selfcheck).
+        failures += _run([sys.executable, "-m", "repro.obs.selfcheck"],
+                         root, "observability selfcheck") != 0
 
     if not args.skip_bench:
         bench_dir = root / "benchmarks" / "micro"
@@ -111,6 +126,15 @@ def main(argv: list[str] | None = None) -> int:
                               str(bench_dir / "bench_parallel.py"),
                               "--repeats", repeats], root,
                              "micro-bench parallel scaling") != 0
+            # Trajectory verdict over the history the benches just
+            # appended to.  A one-repeat smoke pass is noisy, so the
+            # default is a dry run — visible, never fatal — unless the
+            # caller opts into --strict-bench.
+            regress_cmd = [sys.executable, "-m", "repro", "obs", "regress"]
+            if not args.strict_bench:
+                regress_cmd.append("--dry-run")
+            failures += _run(regress_cmd, root,
+                             "bench-history regression check") != 0
         else:
             print(f"== micro-bench: skipped (no {bench_dir})")
 

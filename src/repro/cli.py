@@ -11,13 +11,19 @@ Usage::
     python -m repro ablations
     python -m repro run --method deco --dataset core50 --ipc 10
     python -m repro checkpoints runs/ckpt
+    python -m repro obs summarize runs/trace
+    python -m repro obs regress --dry-run
 
 Every subcommand accepts ``--profile micro|smoke|paper`` and ``--seed`` and
 prints the paper-style report; ``--output`` additionally writes it to a
 file.  ``--telemetry DIR`` records a structured JSONL trace of the run
 (per-segment events, per-pass span timings, kernel/cache counters) into
 ``DIR/trace.jsonl``, which ``python -m repro obs summarize DIR`` renders
-as tables.
+as tables.  With ``--jobs N`` the sweep workers additionally write
+per-task telemetry shards under ``DIR/shards/``, merged into
+``DIR/workers.jsonl`` after the sweep; grid commands stream live progress
+lines to stderr (``--no-progress`` disables).  ``python -m repro obs
+regress`` checks the micro-benchmark history for performance regressions.
 
 ``--checkpoint-dir DIR`` persists prepared experiments and journals every
 completed grid point; re-running the same command with ``--resume`` skips
@@ -70,6 +76,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--resume", action="store_true",
                         help="skip grid points already journaled in "
                              "--checkpoint-dir from an interrupted run")
+    parser.add_argument("--no-progress", action="store_true",
+                        help="suppress the live per-grid-point progress "
+                             "lines grid commands print to stderr")
     sub = parser.add_subparsers(dest="command", required=True)
 
     t1 = sub.add_parser("table1", help="Table I: accuracy comparison")
@@ -121,17 +130,55 @@ def build_parser() -> argparse.ArgumentParser:
     ckpt.add_argument("dir", type=pathlib.Path,
                       help="checkpoint directory to summarize")
 
-    obs_cmd = sub.add_parser("obs", help="telemetry-trace tooling")
-    obs_cmd.add_argument("action", choices=("summarize",),
-                         help="what to do with the trace")
-    obs_cmd.add_argument("trace", type=pathlib.Path,
-                         help="trace.jsonl file or the run directory "
-                              "written by --telemetry")
+    obs_cmd = sub.add_parser("obs",
+                             help="observability tooling: telemetry traces "
+                                  "and bench-history regression checks")
+    obs_sub = obs_cmd.add_subparsers(dest="action", required=True)
+    summ = obs_sub.add_parser("summarize",
+                              help="render a telemetry trace as tables")
+    summ.add_argument("trace", type=pathlib.Path,
+                      help="trace.jsonl file or the run directory "
+                           "written by --telemetry")
+    reg = obs_sub.add_parser("regress",
+                             help="compare the newest bench-history entries "
+                                  "against their trailing baselines")
+    reg.add_argument("--history", type=pathlib.Path, default=None,
+                     metavar="FILE",
+                     help="bench history JSONL (default: "
+                          "bench_results/bench_history.jsonl)")
+    reg.add_argument("--window", type=int, default=None, metavar="K",
+                     help="baseline = median of up to K prior matching "
+                          "entries (default: 5)")
+    reg.add_argument("--threshold", type=float, default=None, metavar="F",
+                     help="flag a metric >= (1+F) x baseline "
+                          "(default: 0.20)")
+    reg.add_argument("--dry-run", action="store_true",
+                     help="report regressions but exit 0 anyway")
     return parser
+
+
+def _obs_regress(args: argparse.Namespace) -> str:
+    from .obs import regress
+
+    path = (args.history if args.history is not None
+            else regress.default_history_path())
+    report = regress.check_regressions(
+        path,
+        window=args.window if args.window is not None
+        else regress.DEFAULT_WINDOW,
+        threshold=args.threshold if args.threshold is not None
+        else regress.DEFAULT_THRESHOLD)
+    text = regress.format_regress_report(report, history_path=path)
+    if not report.ok and not args.dry_run:
+        print(text)
+        raise SystemExit(2)
+    return text
 
 
 def _dispatch(args: argparse.Namespace) -> str:
     if args.command == "obs":
+        if args.action == "regress":
+            return _obs_regress(args)
         from .obs import summarize_trace
         try:
             return summarize_trace(args.trace)
@@ -145,7 +192,16 @@ def _dispatch(args: argparse.Namespace) -> str:
             raise SystemExit(f"repro checkpoints: error: {exc}") from exc
     if args.resume and args.checkpoint_dir is None:
         raise SystemExit("repro: error: --resume requires --checkpoint-dir")
-    ckpt = dict(checkpoint_dir=args.checkpoint_dir, resume=args.resume)
+    # Grid commands stream one progress line per completed point to stderr
+    # (config, accuracy, wall time, running ETA); stdout — the report — is
+    # byte-identical with or without it.
+    if args.no_progress:
+        progress = None
+    else:
+        from .obs import SweepProgress
+        progress = SweepProgress()
+    ckpt = dict(checkpoint_dir=args.checkpoint_dir, resume=args.resume,
+                progress=progress)
     if args.command == "table1":
         from .experiments.profiles import get_profile
         seeds = (tuple(args.seeds) if args.seeds is not None

@@ -45,17 +45,24 @@ class ReplayLearner(OnDeviceLearner):
         return self.buffer.as_training_set()
 
     def _extra_state(self) -> dict[str, np.ndarray]:
-        return {f"buffer.{key}": value
-                for key, value in self.buffer.state_dict().items()}
+        state = {f"buffer.{key}": value
+                 for key, value in self.buffer.state_dict().items()}
+        state.update({f"strategy.{key}": value
+                      for key, value in self.strategy.state_dict().items()})
+        return state
 
     def _load_extra_state(self, state: dict[str, np.ndarray]) -> None:
-        # Restores buffer contents + fill counters.  Strategies that keep
-        # private cursors outside the buffer (FIFO slot pointer, GSS
-        # embeddings) re-derive or rebuild them, so a resumed replay run is
-        # faithful in buffer contents but not guaranteed bit-identical.
+        # Restores buffer contents + fill counters AND the strategy's
+        # private cursors (FIFO slot pointer, GSS gradient embeddings,
+        # herding candidate pools), so a resumed replay run is bit-exact,
+        # not just faithful in buffer contents.  Checkpoints from before
+        # strategies persisted state simply have no ``strategy.*`` keys.
         self.buffer.load_state_dict(
             {key[len("buffer."):]: value for key, value in state.items()
              if key.startswith("buffer.")})
+        self.strategy.load_state_dict(
+            {key[len("strategy."):]: value for key, value in state.items()
+             if key.startswith("strategy.")})
 
 
 class UpperBoundLearner(OnDeviceLearner):

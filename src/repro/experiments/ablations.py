@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 from .common import prepare_experiment
-from .grid import prepared_cache_dir, run_method_grid
+from .grid import begin_progress, prepared_cache_dir, run_method_grid
 from .reporting import format_table
 
 __all__ = ["AblationResult", "run_ablations", "format_ablations",
@@ -61,7 +61,7 @@ def run_ablations(*, dataset: str = "core50", ipc: int = 10,
                   profile: str = "smoke",
                   seeds: Sequence[int] = (0,),
                   jobs: int = 1, checkpoint_dir=None,
-                  resume: bool = False) -> AblationResult:
+                  resume: bool = False, progress=None) -> AblationResult:
     """Run DECO variants differing in exactly one design choice."""
     variants = variants if variants is not None else DEFAULT_VARIANTS
     prepared = prepare_experiment(dataset, profile, seed=0,
@@ -69,11 +69,14 @@ def run_ablations(*, dataset: str = "core50", ipc: int = 10,
     result = AblationResult(dataset=dataset, ipc=ipc)
     grid = [(name, dict(kwargs), s)
             for name, kwargs in variants.items() for s in seeds]
+    configs = [{"method": "deco", "ipc": ipc, "seed": s,
+                "condenser_kwargs": kwargs} for _, kwargs, s in grid]
+    begin_progress(progress, len(configs), label=f"ablations/{dataset}",
+                   jobs=jobs)
     runs = run_method_grid(
-        prepared,
-        [{"method": "deco", "ipc": ipc, "seed": s,
-          "condenser_kwargs": kwargs} for _, kwargs, s in grid],
-        jobs=jobs, checkpoint_dir=checkpoint_dir, resume=resume)
+        prepared, configs,
+        jobs=jobs, checkpoint_dir=checkpoint_dir, resume=resume,
+        progress=progress)
     for name in variants:
         accs = [run.final_accuracy
                 for (gname, _, _), run in zip(grid, runs) if gname == name]

@@ -18,7 +18,7 @@ from typing import Sequence
 import numpy as np
 
 from .common import prepare_experiment
-from .grid import prepared_cache_dir, run_method_grid
+from .grid import begin_progress, prepared_cache_dir, run_method_grid
 from .reporting import format_table
 
 __all__ = ["Fig4aPoint", "Fig4aResult", "run_fig4a", "format_fig4a",
@@ -55,16 +55,19 @@ def run_fig4a(*, dataset: str = "core50", ipc: int = 10,
               thresholds: Sequence[float] = DEFAULT_THRESHOLDS,
               profile: str = "smoke", seed: int = 0,
               jobs: int = 1, checkpoint_dir=None,
-              resume: bool = False) -> Fig4aResult:
+              resume: bool = False, progress=None) -> Fig4aResult:
     """Sweep the majority-voting threshold ``m``."""
     prepared = prepare_experiment(dataset, profile, seed=0,
                                   cache_dir=prepared_cache_dir(checkpoint_dir))
     result = Fig4aResult(dataset=dataset)
+    configs = [{"method": "deco", "ipc": ipc, "seed": seed,
+                "labeler_threshold": float(m)} for m in thresholds]
+    begin_progress(progress, len(configs), label=f"fig4a/{dataset}",
+                   jobs=jobs)
     runs = run_method_grid(
-        prepared,
-        [{"method": "deco", "ipc": ipc, "seed": seed,
-          "labeler_threshold": float(m)} for m in thresholds],
-        jobs=jobs, checkpoint_dir=checkpoint_dir, resume=resume)
+        prepared, configs,
+        jobs=jobs, checkpoint_dir=checkpoint_dir, resume=resume,
+        progress=progress)
     for m, run in zip(thresholds, runs):
         retained = [d["retained_fraction"] for d in run.history.diagnostics
                     if "retained_fraction" in d]
@@ -108,18 +111,21 @@ def run_fig4b(*, dataset: str = "cifar100",
               ipcs: Sequence[int] = (5, 10),
               profile: str = "smoke", seed: int = 0,
               jobs: int = 1, checkpoint_dir=None,
-              resume: bool = False) -> Fig4bResult:
+              resume: bool = False, progress=None) -> Fig4bResult:
     """Sweep the feature-discrimination weight ``alpha``."""
     prepared = prepare_experiment(dataset, profile, seed=0,
                                   cache_dir=prepared_cache_dir(checkpoint_dir))
     result = Fig4bResult(dataset=dataset, alphas=tuple(alphas),
                          ipcs=tuple(ipcs))
     grid = [(ipc, float(alpha)) for ipc in ipcs for alpha in alphas]
+    configs = [{"method": "deco", "ipc": ipc, "seed": seed,
+                "condenser_kwargs": {"alpha": alpha}} for ipc, alpha in grid]
+    begin_progress(progress, len(configs), label=f"fig4b/{dataset}",
+                   jobs=jobs)
     runs = run_method_grid(
-        prepared,
-        [{"method": "deco", "ipc": ipc, "seed": seed,
-          "condenser_kwargs": {"alpha": alpha}} for ipc, alpha in grid],
-        jobs=jobs, checkpoint_dir=checkpoint_dir, resume=resume)
+        prepared, configs,
+        jobs=jobs, checkpoint_dir=checkpoint_dir, resume=resume,
+        progress=progress)
     for (ipc, alpha), run in zip(grid, runs):
         result.accuracy[(alpha, ipc)] = run.final_accuracy
     return result

@@ -19,16 +19,30 @@ from __future__ import annotations
 
 import os
 import pathlib
+import time
 
 import numpy as np
 
-from ..parallel import run_sweep
+from ..parallel import SweepOutcome, run_sweep
 from ..persist import ResumeJournal, content_hash, method_result_store
 from .common import (MethodResult, PreparedExperiment, prepare_experiment,
                      run_method)
 
 __all__ = ["run_method_grid", "pack_prepared", "rebuild_prepared",
-           "grid_journal", "prepared_cache_dir"]
+           "grid_journal", "prepared_cache_dir", "begin_progress"]
+
+
+def begin_progress(progress, total: int, *, label: str = "",
+                   jobs: int = 1) -> None:
+    """Arm a progress reporter for an upcoming grid, if it supports it.
+
+    Drivers call this once per grid so the reporter can label the block
+    and reset its ETA statistics; plain callables without a ``begin``
+    method (bare ``on_result`` hooks) are fine and simply skip it.
+    """
+    begin = getattr(progress, "begin", None)
+    if begin is not None:
+        begin(total, label=label, jobs=jobs)
 
 
 def prepared_cache_dir(checkpoint_dir: str | os.PathLike | None
@@ -170,7 +184,8 @@ def grid_journal(checkpoint_dir: str | os.PathLike,
 def run_method_grid(prepared: PreparedExperiment, configs, *,
                     jobs: int = 1,
                     checkpoint_dir: str | os.PathLike | None = None,
-                    resume: bool = False) -> list[MethodResult]:
+                    resume: bool = False,
+                    progress=None) -> list[MethodResult]:
     """Run ``run_method(prepared, **config)`` per config, in config order.
 
     ``jobs=1`` executes the exact serial loop in-process.  ``jobs>1`` fans
@@ -183,24 +198,41 @@ def run_method_grid(prepared: PreparedExperiment, configs, *,
     additionally skips configs the journal already records, loading their
     results from disk — results are deterministic in (prepared, config),
     so a resumed grid is bit-identical to an uninterrupted one.
+
+    ``progress`` is an optional ``progress(index, outcome)`` callable (a
+    :class:`repro.obs.SweepProgress`, typically) invoked per completed
+    grid point in completion order — every execution path, including the
+    bare serial loop, reports through it.
     """
     configs = [dict(c) for c in configs]
     if resume and checkpoint_dir is None:
         raise ValueError("resume=True requires checkpoint_dir")
     if checkpoint_dir is None:
         if jobs <= 1 or len(configs) <= 1:
-            return [run_method(prepared, **c) for c in configs]
+            if progress is None:
+                return [run_method(prepared, **c) for c in configs]
+            results = []
+            for i, config in enumerate(configs):
+                t0 = time.perf_counter()
+                result = run_method(prepared, **config)
+                results.append(result)
+                progress(i, SweepOutcome(config=dict(config), result=result,
+                                         worker_pid=os.getpid(),
+                                         seconds=time.perf_counter() - t0))
+            return results
         arrays, context = pack_prepared(prepared)
         outcomes = run_sweep(_grid_worker, configs, jobs=jobs, arrays=arrays,
-                             context=context)
+                             context=context, on_result=progress)
         return [o.result for o in outcomes]
 
     arrays, context = pack_prepared(prepared)
     journal = _journal_for_context(checkpoint_dir, context)
     if jobs <= 1 or len(configs) <= 1:
         outcomes = run_sweep(_local_grid_worker(prepared), configs, jobs=1,
-                             journal=journal, resume=resume)
+                             journal=journal, resume=resume,
+                             on_result=progress)
     else:
         outcomes = run_sweep(_grid_worker, configs, jobs=jobs, arrays=arrays,
-                             context=context, journal=journal, resume=resume)
+                             context=context, journal=journal, resume=resume,
+                             on_result=progress)
     return [o.result for o in outcomes]

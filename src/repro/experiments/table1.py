@@ -17,7 +17,7 @@ import numpy as np
 from ..buffer.selection import STRATEGY_NAMES
 from ..utils.metrics import mean_and_std, relative_improvement
 from .common import prepare_experiment
-from .grid import prepared_cache_dir, run_method_grid
+from .grid import begin_progress, prepared_cache_dir, run_method_grid
 from .reporting import format_mean_std, format_table
 
 __all__ = ["Table1Cell", "Table1Result", "run_table1", "format_table1",
@@ -78,13 +78,16 @@ def run_table1(*, datasets: Sequence[str] = DEFAULT_DATASETS,
                include_upper_bound: bool = True,
                jobs: int = 1,
                checkpoint_dir=None,
-               resume: bool = False) -> Table1Result:
+               resume: bool = False,
+               progress=None) -> Table1Result:
     """Regenerate Table I (or any subset of it); ``jobs>1`` runs each
     dataset's (ipc, method, seed) grid in parallel worker processes.
 
     ``checkpoint_dir`` persists prepared experiments (under ``prepared/``)
     and journals every completed grid point; ``resume=True`` skips the
-    journaled points of an interrupted earlier run.
+    journaled points of an interrupted earlier run.  ``progress`` (a
+    :class:`repro.obs.SweepProgress`) streams one line per completed grid
+    point, labelled per dataset.
     """
     result = Table1Result(datasets=tuple(datasets), ipcs=tuple(ipcs),
                           baselines=tuple(baselines))
@@ -98,11 +101,14 @@ def run_table1(*, datasets: Sequence[str] = DEFAULT_DATASETS,
                 for seed in seeds]
         if include_upper_bound:
             grid += [(1, "upper_bound", s) for s in seeds[:1]]
+        configs = [{"method": method, "ipc": ipc, "seed": seed}
+                   for ipc, method, seed in grid]
+        begin_progress(progress, len(configs), label=f"table1/{dataset}",
+                       jobs=jobs)
         runs = run_method_grid(
-            prepared,
-            [{"method": method, "ipc": ipc, "seed": seed}
-             for ipc, method, seed in grid],
-            jobs=jobs, checkpoint_dir=checkpoint_dir, resume=resume)
+            prepared, configs,
+            jobs=jobs, checkpoint_dir=checkpoint_dir, resume=resume,
+            progress=progress)
         ub_accs = []
         for (ipc, method, seed), run in zip(grid, runs):
             if method == "upper_bound":

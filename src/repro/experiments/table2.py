@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 from .common import prepare_experiment
-from .grid import prepared_cache_dir, run_method_grid
+from .grid import begin_progress, prepared_cache_dir, run_method_grid
 from .reporting import format_table
 
 __all__ = ["Table2Entry", "Table2Result", "run_table2", "format_table2",
@@ -56,7 +56,7 @@ def run_table2(*, dataset: str = "core50",
                condensers: Sequence[str] = DEFAULT_CONDENSERS,
                profile: str = "smoke", seed: int = 0,
                jobs: int = 1, checkpoint_dir=None,
-               resume: bool = False) -> Table2Result:
+               resume: bool = False, progress=None) -> Table2Result:
     """Regenerate Table II (or a subset); ``jobs>1`` runs grid points in
     parallel worker processes.  ``checkpoint_dir``/``resume`` journal
     completed points and skip them on re-run (see :func:`run_method_grid`).
@@ -66,11 +66,14 @@ def run_table2(*, dataset: str = "core50",
     result = Table2Result(condensers=tuple(condensers), ipcs=tuple(ipcs),
                           dataset=dataset)
     grid = [(condenser, ipc) for condenser in condensers for ipc in ipcs]
+    configs = [{"method": "deco", "ipc": ipc, "seed": seed,
+                "condenser_name": condenser} for condenser, ipc in grid]
+    begin_progress(progress, len(configs), label=f"table2/{dataset}",
+                   jobs=jobs)
     runs = run_method_grid(
-        prepared,
-        [{"method": "deco", "ipc": ipc, "seed": seed,
-          "condenser_name": condenser} for condenser, ipc in grid],
-        jobs=jobs, checkpoint_dir=checkpoint_dir, resume=resume)
+        prepared, configs,
+        jobs=jobs, checkpoint_dir=checkpoint_dir, resume=resume,
+        progress=progress)
     for (condenser, ipc), run in zip(grid, runs):
         result.entries[(condenser, ipc)] = Table2Entry(
             condenser=condenser, ipc=ipc,

@@ -15,11 +15,19 @@ Hot-path call sites import the module functions (``obs.span``,
 disabled path is a single flag check.
 """
 
-from .sinks import EventSink, JsonlSink, ListSink, NullSink
+from .export import (aggregate_worker_counters, config_digest,
+                     merge_worker_shards, shard_path, worker_telemetry)
+from .progress import SweepProgress
+from .regress import (append_history, check_regressions, compare_history,
+                      format_regress_report, load_history,
+                      metrics_from_snapshot, seed_history_from_snapshot)
+from .sinks import (EventSink, JsonlSink, ListSink, NullSink,
+                    read_jsonl_tolerant)
 from .telemetry import (Telemetry, collect_runtime_counters, counter, disable,
                         enable, enabled, event, gauge, get_telemetry, observe,
-                        reset, shutdown, snapshot, span)
-from .summary import load_events, summarize_events, summarize_trace
+                        reset, scoped_telemetry, shutdown, snapshot, span)
+from .summary import (load_events, load_events_with_stats, summarize_events,
+                      summarize_trace)
 
 __all__ = [
     "Telemetry",

@@ -1,0 +1,116 @@
+"""Live sweep progress: per-point wall time, running ETA, streamed rows.
+
+The sweep executor completes grid points out of order (``jobs > 1``) and
+now surfaces each one the moment it lands.  :class:`SweepProgress` turns
+that stream into human-readable progress lines — one per completed point,
+with the point's config, its headline result (accuracy when the result
+looks like a :class:`~repro.experiments.common.MethodResult`), its wall
+time, and a running ETA extrapolated from the completed points' timings.
+
+Lines go to *stderr* by default: the experiment report on stdout stays
+byte-identical to a run without progress, so piped output and the
+``--output`` file never change.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Any, IO
+
+__all__ = ["SweepProgress"]
+
+
+def _describe_config(config: dict) -> str:
+    parts = []
+    if "method" in config:
+        parts.append(str(config["method"]))
+    parts.extend(f"{key}={config[key]}" for key in sorted(config)
+                 if key != "method")
+    return " ".join(parts) or "-"
+
+
+def _describe_result(result: Any) -> str:
+    accuracy = getattr(result, "final_accuracy", None)
+    if accuracy is None:
+        return ""
+    return f"acc={accuracy:.2%}"
+
+
+def _fmt_seconds(seconds: float) -> str:
+    if seconds >= 90:
+        return f"{seconds / 60:.1f}m"
+    return f"{seconds:.1f}s"
+
+
+class SweepProgress:
+    """Streams one line per completed grid point, with a running ETA.
+
+    One instance survives several consecutive grids (Table I runs one per
+    dataset): :meth:`begin` rearms the counters and labels the block.
+    Instances are callables with the sweep executor's ``on_result``
+    signature, so wiring is ``run_method_grid(..., progress=reporter)``.
+    """
+
+    def __init__(self, stream: IO[str] | None = None) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        self.total = 0
+        self.done = 0
+        self.jobs = 1
+        self.label = ""
+        self._durations: list[float] = []
+        self._t0 = 0.0
+
+    # -- lifecycle ---------------------------------------------------------
+    def begin(self, total: int, *, label: str = "", jobs: int = 1) -> None:
+        """Arm the reporter for a grid of ``total`` points."""
+        self.total = int(total)
+        self.done = 0
+        self.jobs = max(1, int(jobs))
+        self.label = label
+        self._durations = []
+        self._t0 = time.perf_counter()
+        if self.total:
+            where = f" {label}" if label else ""
+            self._emit(f"[sweep{where}] {self.total} points, "
+                       f"jobs={self.jobs}")
+
+    # -- the on_result hook ------------------------------------------------
+    def __call__(self, index: int, outcome: Any) -> None:
+        """Record one completed point and print its progress line."""
+        self.done += 1
+        resumed = bool(getattr(outcome, "extra", {}).get("resumed"))
+        seconds = float(getattr(outcome, "seconds", 0.0))
+        if not resumed:
+            self._durations.append(seconds)
+        status = ""
+        if not getattr(outcome, "ok", True):
+            status = " FAILED"
+        elif resumed:
+            status = " (resumed)"
+        detail = _describe_result(getattr(outcome, "result", None))
+        fields = [part for part in
+                  (_describe_config(getattr(outcome, "config", {}) or {}),
+                   detail) if part]
+        eta = self._eta()
+        suffix = f"  eta {_fmt_seconds(eta)}" if eta is not None else ""
+        where = f" {self.label}" if self.label else ""
+        self._emit(f"[sweep{where} {self.done}/{self.total}] "
+                   f"{'  '.join(fields)}  {_fmt_seconds(seconds)}"
+                   f"{status}{suffix}")
+
+    # -- internals ---------------------------------------------------------
+    def _eta(self) -> float | None:
+        """Remaining wall time from the mean of completed-point timings."""
+        remaining = self.total - self.done
+        if remaining <= 0 or not self._durations:
+            return None
+        mean = sum(self._durations) / len(self._durations)
+        return mean * remaining / self.jobs
+
+    def _emit(self, line: str) -> None:
+        try:
+            self.stream.write(line + "\n")
+            self.stream.flush()
+        except (ValueError, OSError):  # closed stream; progress is advisory
+            pass

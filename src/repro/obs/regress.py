@@ -1,0 +1,306 @@
+"""Bench-history regression tracking: is the perf trajectory still flat?
+
+``bench_results/micro_kernels.json`` is a *snapshot* — each bench run
+overwrites its section in place, so nothing ever notices a kernel getting
+slower.  This module adds the missing time axis:
+
+* every micro-benchmark run appends one JSON line per section to an
+  **append-only history** (``bench_results/bench_history.jsonl``) holding
+  the run's flat metrics (seconds per benchmark) plus tags identifying
+  the measurement context (platform, numpy, cpu count, intra-op threads);
+* :func:`compare_history` judges the newest value of every metric against
+  a **trailing baseline** — the median of up to the prior ``window``
+  entries whose tags match on the configured keys (different machines or
+  thread counts never pollute each other's baselines) — and flags any
+  metric slower than ``baseline * (1 + threshold)``;
+* ``python -m repro obs regress`` renders the verdict table and exits
+  non-zero on regressions (``--dry-run`` reports without failing), which
+  is how ``repro-check``'s bench pass produces a trajectory verdict
+  instead of just a file.
+
+History lines are loaded tolerantly (a run killed mid-append leaves at
+most one truncated line, which is skipped) and unknown metrics simply
+report ``no-baseline`` until enough history accumulates.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import statistics
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Sequence
+
+from .sinks import read_jsonl_tolerant
+
+__all__ = [
+    "HISTORY_FILENAME",
+    "DEFAULT_WINDOW",
+    "DEFAULT_THRESHOLD",
+    "DEFAULT_MATCH_TAGS",
+    "MetricDelta",
+    "RegressionReport",
+    "default_history_path",
+    "metrics_from_snapshot",
+    "append_history",
+    "load_history",
+    "compare_history",
+    "check_regressions",
+    "format_regress_report",
+    "seed_history_from_snapshot",
+]
+
+HISTORY_FILENAME = "bench_history.jsonl"
+DEFAULT_WINDOW = 5
+DEFAULT_THRESHOLD = 0.20
+DEFAULT_MATCH_TAGS = ("platform", "threads")
+
+
+def default_history_path() -> pathlib.Path:
+    """``bench_results/bench_history.jsonl`` of the repo checkout.
+
+    Prefers the current working directory (how ``repro-check`` and the
+    bench scripts run), falling back to the source tree this module was
+    imported from.
+    """
+    for root in (pathlib.Path.cwd(),
+                 pathlib.Path(__file__).resolve().parents[3]):
+        candidate = root / "bench_results" / HISTORY_FILENAME
+        if candidate.is_file():
+            return candidate
+    return pathlib.Path.cwd() / "bench_results" / HISTORY_FILENAME
+
+
+# ----------------------------------------------------------------------
+# Metric extraction
+# ----------------------------------------------------------------------
+def metrics_from_snapshot(data: Mapping[str, Any],
+                          sections: Sequence[str] | None = None
+                          ) -> dict[str, float]:
+    """Flatten a ``micro_kernels.json`` snapshot into ``name -> seconds``.
+
+    Names are path-like and stable: ``kernels/conv2d_fwd``,
+    ``condense_step``, ``parallel/conv_fwd_bwd/threads=4``,
+    ``parallel/sweep/jobs=2``.
+    """
+    metrics: dict[str, float] = {}
+
+    def want(section: str) -> bool:
+        return sections is None or section in sections
+
+    kernels = data.get("kernels") or {}
+    if want("kernels"):
+        for case, row in (kernels.get("cases") or {}).items():
+            if isinstance(row, Mapping) and "fast_s" in row:
+                metrics[f"kernels/{case}"] = float(row["fast_s"])
+    condense = data.get("condense_step") or {}
+    if want("condense_step") and "fast_s" in condense:
+        metrics["condense_step"] = float(condense["fast_s"])
+    scaling = data.get("parallel_scaling") or {}
+    if want("parallel_scaling"):
+        for case, entry in (scaling.get("intra_op") or {}).items():
+            for key, value in entry.items():
+                if key.startswith("threads="):
+                    metrics[f"parallel/{case}/{key}"] = float(value)
+        for key, value in (scaling.get("sweep") or {}).items():
+            if key.startswith("jobs="):
+                metrics[f"parallel/sweep/{key}"] = float(value)
+    return metrics
+
+
+# ----------------------------------------------------------------------
+# History file
+# ----------------------------------------------------------------------
+def append_history(path: str | os.PathLike, section: str,
+                   metrics: Mapping[str, float],
+                   tags: Mapping[str, Any]) -> dict:
+    """Append one history line; returns the written entry."""
+    entry = {"section": section, "ts": time.time(),
+             "tags": {key: value for key, value in sorted(tags.items())},
+             "metrics": {name: float(value)
+                         for name, value in sorted(metrics.items())}}
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write(json.dumps(entry, sort_keys=True) + "\n")
+        fh.flush()
+    return entry
+
+
+def load_history(path: str | os.PathLike) -> tuple[list[dict], int]:
+    """(entries, skipped_lines) of a history file; missing file is empty."""
+    path = pathlib.Path(path)
+    if not path.is_file():
+        return [], 0
+    return read_jsonl_tolerant(path)
+
+
+def seed_history_from_snapshot(snapshot_path: str | os.PathLike,
+                               history_path: str | os.PathLike,
+                               tags: Mapping[str, Any] | None = None
+                               ) -> list[dict]:
+    """Bootstrap a history from an existing ``micro_kernels.json``.
+
+    Writes one entry per section found in the snapshot, tagged with the
+    snapshot's recorded platform/numpy (plus any overrides), so the very
+    next bench run already has a baseline to compare against.
+    """
+    data = json.loads(pathlib.Path(snapshot_path).read_text())
+    meta = data.get("meta") or {}
+    base_tags = {"platform": meta.get("platform", "unknown"),
+                 "numpy": meta.get("numpy", "unknown"),
+                 "threads": 1,
+                 "cpu_count": (data.get("parallel_scaling") or {}
+                               ).get("cpu_count", os.cpu_count())}
+    base_tags.update(tags or {})
+    entries = []
+    for section in ("kernels", "condense_step", "parallel_scaling"):
+        metrics = metrics_from_snapshot(data, sections=(section,))
+        if metrics:
+            entries.append(append_history(history_path, section, metrics,
+                                          base_tags))
+    return entries
+
+
+# ----------------------------------------------------------------------
+# Comparison
+# ----------------------------------------------------------------------
+@dataclass
+class MetricDelta:
+    """One benchmark's newest value against its trailing baseline."""
+
+    name: str
+    newest: float
+    baseline: float | None
+    samples: int
+    verdict: str  # "ok" | "regression" | "improved" | "no-baseline"
+
+    @property
+    def ratio(self) -> float | None:
+        if self.baseline is None or self.baseline <= 0:
+            return None
+        return self.newest / self.baseline
+
+
+@dataclass
+class RegressionReport:
+    """All metric verdicts of one comparison pass."""
+
+    deltas: list[MetricDelta] = field(default_factory=list)
+    window: int = DEFAULT_WINDOW
+    threshold: float = DEFAULT_THRESHOLD
+    skipped_lines: int = 0
+
+    @property
+    def regressions(self) -> list[MetricDelta]:
+        return [d for d in self.deltas if d.verdict == "regression"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+
+def _tags_match(a: Mapping[str, Any], b: Mapping[str, Any],
+                keys: Sequence[str]) -> bool:
+    return all(a.get(key) == b.get(key) for key in keys)
+
+
+def compare_history(entries: Iterable[Mapping[str, Any]], *,
+                    window: int = DEFAULT_WINDOW,
+                    threshold: float = DEFAULT_THRESHOLD,
+                    match_tags: Sequence[str] = DEFAULT_MATCH_TAGS
+                    ) -> RegressionReport:
+    """Judge every metric's newest entry against its trailing baseline.
+
+    For each metric name: the *newest* value is taken from the last
+    history entry (file order) carrying it; the baseline is the median of
+    up to ``window`` earlier values whose entry tags equal the newest
+    entry's on every key in ``match_tags``.  A metric regresses when
+    ``newest >= baseline * (1 + threshold)``; symmetric improvements are
+    reported but never fail.
+    """
+    entries = list(entries)
+    report = RegressionReport(window=int(window), threshold=float(threshold))
+    series: dict[str, list[tuple[int, float, Mapping[str, Any]]]] = {}
+    for position, entry in enumerate(entries):
+        tags = entry.get("tags") or {}
+        for name, value in (entry.get("metrics") or {}).items():
+            series.setdefault(name, []).append((position, float(value), tags))
+
+    for name in sorted(series):
+        points = series[name]
+        _, newest, newest_tags = points[-1]
+        prior = [value for _, value, tags in points[:-1]
+                 if _tags_match(tags, newest_tags, match_tags)]
+        baseline_values = prior[-window:] if window > 0 else prior
+        if not baseline_values:
+            report.deltas.append(MetricDelta(name, newest, None, 0,
+                                             "no-baseline"))
+            continue
+        baseline = statistics.median(baseline_values)
+        if baseline > 0 and newest >= baseline * (1.0 + threshold):
+            verdict = "regression"
+        elif baseline > 0 and newest <= baseline * (1.0 - threshold):
+            verdict = "improved"
+        else:
+            verdict = "ok"
+        report.deltas.append(MetricDelta(name, newest, baseline,
+                                         len(baseline_values), verdict))
+    return report
+
+
+def check_regressions(history_path: str | os.PathLike | None = None, *,
+                      window: int = DEFAULT_WINDOW,
+                      threshold: float = DEFAULT_THRESHOLD,
+                      match_tags: Sequence[str] = DEFAULT_MATCH_TAGS
+                      ) -> RegressionReport:
+    """Load a history file and compare it (the ``repro obs regress`` core)."""
+    path = (pathlib.Path(history_path) if history_path is not None
+            else default_history_path())
+    entries, skipped = load_history(path)
+    report = compare_history(entries, window=window, threshold=threshold,
+                             match_tags=match_tags)
+    report.skipped_lines = skipped
+    return report
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+def format_regress_report(report: RegressionReport,
+                          history_path: str | os.PathLike | None = None
+                          ) -> str:
+    """Render the verdict table in the repo's standard report style."""
+    # Lazy import: repro.experiments transitively imports repro.obs.
+    from ..experiments.reporting import format_table
+
+    rows = []
+    for delta in report.deltas:
+        baseline = (f"{delta.baseline * 1e3:.2f}"
+                    if delta.baseline is not None else "-")
+        ratio = delta.ratio
+        change = f"{(ratio - 1.0) * 100:+.1f}%" if ratio is not None else "-"
+        rows.append([delta.name, f"{delta.newest * 1e3:.2f}", baseline,
+                     str(delta.samples), change, delta.verdict])
+    header = []
+    if history_path is not None:
+        header.append(f"bench history: {history_path}")
+    if report.skipped_lines:
+        header.append(f"({report.skipped_lines} malformed history "
+                      f"line(s) skipped)")
+    if not report.deltas:
+        header.append("no bench history yet — run the micro-benchmarks "
+                      "to record a first entry")
+        return "\n".join(header)
+    table = format_table(
+        ["benchmark", "newest-ms", f"baseline-ms (median of <= "
+         f"{report.window})", "n", "delta", "verdict"],
+        rows, title="Bench-history regression check")
+    summary = (f"{len(report.regressions)} regression(s) at "
+               f">= {report.threshold:.0%} slowdown"
+               if not report.ok else
+               f"trajectory ok (no metric >= {report.threshold:.0%} "
+               f"slower than its baseline)")
+    return "\n".join(header + [table, summary])

@@ -12,9 +12,40 @@ import json
 import pathlib
 from typing import Any
 
-__all__ = ["EventSink", "JsonlSink", "ListSink", "NullSink", "TRACE_FILENAME"]
+__all__ = ["EventSink", "JsonlSink", "ListSink", "NullSink", "TRACE_FILENAME",
+           "read_jsonl_tolerant"]
 
 TRACE_FILENAME = "trace.jsonl"
+
+
+def read_jsonl_tolerant(
+        path: str | pathlib.Path) -> tuple[list[dict[str, Any]], int]:
+    """Read a JSONL file, dropping unparseable lines instead of raising.
+
+    A worker killed mid-append (or two writers interleaving, which the
+    shard layout avoids but a crashed run may still exhibit) leaves
+    truncated or garbled lines; everything before them was flushed whole.
+    Returns ``(records, skipped)`` where ``skipped`` counts the dropped
+    fragments — the same tolerance :mod:`repro.persist.journal` applies to
+    the resume journal.
+    """
+    records: list[dict[str, Any]] = []
+    skipped = 0
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                skipped += 1
+                continue
+            if isinstance(record, dict):
+                records.append(record)
+            else:
+                skipped += 1
+    return records, skipped
 
 
 class EventSink:
@@ -73,10 +104,23 @@ class JsonlSink(EventSink):
             self._fh.flush()
             self._pending = 0
 
+    def flush(self) -> None:
+        if not self._fh.closed:
+            self._fh.flush()
+            self._pending = 0
+
     def close(self) -> None:
         if not self._fh.closed:
             self._fh.flush()
             self._fh.close()
+
+    # Context-manager form so short-lived writers (sweep workers, tests)
+    # can guarantee the buffered tail reaches disk on every exit path.
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
 
 def _jsonable(value: Any):

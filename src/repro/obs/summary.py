@@ -17,11 +17,11 @@ the same monospace tables the experiment reports use
 
 from __future__ import annotations
 
-import json
 import pathlib
 from typing import Any, Iterable
 
-from .sinks import TRACE_FILENAME
+from .export import WORKERS_FILENAME, aggregate_worker_counters
+from .sinks import TRACE_FILENAME, read_jsonl_tolerant
 
 
 def _format_table(headers, rows, title=None) -> str:
@@ -30,23 +30,41 @@ def _format_table(headers, rows, title=None) -> str:
     from ..experiments.reporting import format_table
     return format_table(headers, rows, title=title)
 
-__all__ = ["load_events", "summarize_events", "summarize_trace"]
+__all__ = ["load_events", "load_events_with_stats", "summarize_events",
+           "summarize_trace"]
+
+
+def load_events_with_stats(
+        path: str | pathlib.Path) -> tuple[list[dict[str, Any]], int]:
+    """Read a trace plus merged worker telemetry; returns (events, skipped).
+
+    Accepts the ``trace.jsonl`` file or its run directory; for a directory
+    the merged worker shard file (``workers.jsonl``, when the run produced
+    one) is appended after the parent trace.  Unparseable lines — the
+    truncated tail a killed worker or a crashed parent leaves — are
+    skipped and counted instead of raising, matching the resume journal's
+    crash tolerance.
+    """
+    path = pathlib.Path(path)
+    extra: list[pathlib.Path] = []
+    if path.is_dir():
+        workers = path / WORKERS_FILENAME
+        if workers.is_file():
+            extra.append(workers)
+        path = path / TRACE_FILENAME
+    if not path.exists():
+        raise FileNotFoundError(f"no telemetry trace at {path}")
+    events, skipped = read_jsonl_tolerant(path)
+    for source in extra:
+        more, more_skipped = read_jsonl_tolerant(source)
+        events.extend(more)
+        skipped += more_skipped
+    return events, skipped
 
 
 def load_events(path: str | pathlib.Path) -> list[dict[str, Any]]:
     """Read a JSONL trace; accepts the file or its run directory."""
-    path = pathlib.Path(path)
-    if path.is_dir():
-        path = path / TRACE_FILENAME
-    if not path.exists():
-        raise FileNotFoundError(f"no telemetry trace at {path}")
-    events = []
-    with open(path, encoding="utf-8") as fh:
-        for line in fh:
-            line = line.strip()
-            if line:
-                events.append(json.loads(line))
-    return events
+    return load_events_with_stats(path)[0]
 
 
 def _fmt(value: Any, digits: int = 4) -> str:
@@ -147,6 +165,59 @@ def _sweep_worker_rows(events: Iterable[dict]) -> list[list[str]]:
     return rows
 
 
+def _worker_shard_rows(events: Iterable[dict]) -> list[list[str]]:
+    """Per-worker breakdown of merged shard telemetry (``workers.jsonl``)."""
+    per_worker: dict[int, dict[str, Any]] = {}
+    for ev in events:
+        if "seq" not in ev or "worker_pid" not in ev:
+            continue  # not a shard record
+        stats = per_worker.setdefault(int(ev["worker_pid"]),
+                                      {"events": 0, "tasks": set(),
+                                       "span_s": 0.0})
+        stats["events"] += 1
+        stats["tasks"].add(ev.get("task_index"))
+        if ev.get("type") == "span":
+            stats["span_s"] += float(ev.get("dur_s", 0.0))
+    rows = []
+    for pid in sorted(per_worker):
+        stats = per_worker[pid]
+        rows.append([str(pid), str(len(stats["tasks"])),
+                     str(int(stats["events"])),
+                     f"{stats['span_s'] * 1e3:.1f}"])
+    return rows
+
+
+def _config_shard_rows(events: Iterable[dict]) -> list[list[str]]:
+    """Per-config breakdown of merged shard telemetry."""
+    per_config: dict[str, dict[str, Any]] = {}
+    for ev in events:
+        if "seq" not in ev or "config_hash" not in ev:
+            continue
+        stats = per_config.setdefault(
+            str(ev["config_hash"]),
+            {"desc": "-", "worker": "?", "events": 0, "span_s": 0.0})
+        stats["events"] += 1
+        stats["worker"] = str(ev.get("worker_pid", "?"))
+        if ev.get("type") == "shard_start":
+            config = ev.get("config") or {}
+            stats["desc"] = ", ".join(
+                f"{k}={v}" for k, v in sorted(config.items())) or "-"
+        elif ev.get("type") == "span":
+            stats["span_s"] += float(ev.get("dur_s", 0.0))
+    rows = []
+    for digest in sorted(per_config):
+        stats = per_config[digest]
+        rows.append([digest, stats["desc"], stats["worker"],
+                     str(int(stats["events"])),
+                     f"{stats['span_s'] * 1e3:.1f}"])
+    return rows
+
+
+def _worker_counter_rows(events: list[dict]) -> list[list[str]]:
+    totals = aggregate_worker_counters(events)
+    return [[name, _fmt(value, digits=0)] for name, value in sorted(totals.items())]
+
+
 def summarize_events(events: list[dict[str, Any]]) -> str:
     """Render the trace as the standard three report tables."""
     sections = []
@@ -177,6 +248,22 @@ def summarize_events(events: list[dict[str, Any]]) -> str:
             ["worker pid", "busy-s", "wall-s", "utilization"],
             worker_rows, title="Sweep workers"))
 
+    shard_worker_rows = _worker_shard_rows(events)
+    if shard_worker_rows:
+        sections.append(_format_table(
+            ["worker pid", "tasks", "events", "span-total-ms"],
+            shard_worker_rows, title="Worker telemetry (merged shards)"))
+    config_rows = _config_shard_rows(events)
+    if config_rows:
+        sections.append(_format_table(
+            ["config", "point", "worker", "events", "span-total-ms"],
+            config_rows, title="Per-config telemetry"))
+    worker_counter_rows = _worker_counter_rows(events)
+    if worker_counter_rows:
+        sections.append(_format_table(
+            ["counter", "total"], worker_counter_rows,
+            title="Worker counters (aggregated)"))
+
     counter_rows = _counter_rows(events)
     if counter_rows:
         sections.append(_format_table(["counter", "value"], counter_rows,
@@ -195,4 +282,9 @@ def summarize_events(events: list[dict[str, Any]]) -> str:
 
 def summarize_trace(path: str | pathlib.Path) -> str:
     """Load a trace file/run directory and render the summary."""
-    return summarize_events(load_events(path))
+    events, skipped = load_events_with_stats(path)
+    text = summarize_events(events)
+    if skipped:
+        text += (f"\n\n({skipped} malformed line(s) skipped — truncated "
+                 f"tail of a killed writer)")
+    return text

@@ -20,6 +20,7 @@ record per event, consumed by :mod:`repro.obs.summary`.
 
 from __future__ import annotations
 
+import contextlib
 import time
 from typing import Any
 
@@ -28,6 +29,7 @@ from .sinks import EventSink, JsonlSink
 __all__ = [
     "Telemetry",
     "get_telemetry",
+    "scoped_telemetry",
     "enable",
     "disable",
     "enabled",
@@ -190,6 +192,26 @@ _DEFAULT = Telemetry()
 
 def get_telemetry() -> Telemetry:
     return _DEFAULT
+
+
+@contextlib.contextmanager
+def scoped_telemetry(registry: Telemetry):
+    """Temporarily make ``registry`` the process-default registry.
+
+    Every module-level call (``obs.span``, ``obs.counter``, ...) resolves
+    the default registry at call time, so swapping it reroutes all
+    instrumented hot paths for the duration of the ``with`` block.  This is
+    how sweep workers isolate a task's telemetry into its own shard: the
+    task runs under a fresh registry + shard sink while the (disabled)
+    parent-inherited registry is parked and restored afterwards.
+    """
+    global _DEFAULT
+    saved = _DEFAULT
+    _DEFAULT = registry
+    try:
+        yield registry
+    finally:
+        _DEFAULT = saved
 
 
 def enable(sink_or_dir: EventSink | str | None = None) -> Telemetry:

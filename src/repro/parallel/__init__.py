@@ -20,7 +20,7 @@ from .intra_op import (even_bounds, get_num_threads, note_serial_fallback,
                        set_shard_threshold, shard_bounds, shard_threshold,
                        shutdown, stats, thread_arena)
 from .sweep import (SharedArrayPack, SweepOutcome, SweepTaskError,
-                    default_start_method, run_sweep)
+                    default_start_method, iter_sweep, run_sweep)
 
 __all__ = [
     "get_num_threads",
@@ -38,6 +38,7 @@ __all__ = [
     "SharedArrayPack",
     "SweepOutcome",
     "SweepTaskError",
+    "iter_sweep",
     "run_sweep",
     "default_start_method",
 ]

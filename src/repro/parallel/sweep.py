@@ -15,8 +15,16 @@ Design points
   and attached once per worker in the pool initializer — tasks themselves
   carry only small config dicts.  Without this every task submission would
   re-pickle tens of MB of arrays through the task pipe.
-* **Ordered results.**  Results come back in task order regardless of
-  completion order, so sweep output is independent of scheduling.
+* **Streaming, then ordered.**  :func:`iter_sweep` yields each grid point
+  the moment it completes (with a heartbeat event when nothing lands for a
+  while), so callers can render live progress; :func:`run_sweep` consumes
+  the stream and restores task order at the end, so sweep *output* stays
+  independent of scheduling.
+* **Worker telemetry shards.**  When the parent runs with telemetry (or an
+  explicit ``telemetry_dir``), each task executes under a fresh per-task
+  registry writing a JSONL shard (see :mod:`repro.obs.export`); the parent
+  merges the shards into ``workers.jsonl`` after the sweep, so ``jobs>1``
+  runs no longer lose the counters and spans produced inside workers.
 * **Crash surfacing.**  A grid point that raises inside a worker returns its
   formatted traceback; the parent raises :class:`SweepTaskError` carrying
   the offending config and the remote traceback instead of hanging or
@@ -37,11 +45,12 @@ import os
 import threading
 import time
 import traceback
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from multiprocessing import get_context, shared_memory
-from typing import TYPE_CHECKING, Any, Callable, Mapping, Sequence
+from typing import (TYPE_CHECKING, Any, Callable, Iterator, Mapping,
+                    Sequence)
 
 import numpy as np
 
@@ -52,6 +61,7 @@ __all__ = [
     "SharedArrayPack",
     "SweepTaskError",
     "SweepOutcome",
+    "iter_sweep",
     "run_sweep",
     "default_start_method",
 ]
@@ -264,10 +274,23 @@ def _worker_init(pack_spec: dict | None, context: Any) -> None:
         _WORKER_ARRAYS = {}
 
 
-def _worker_run(worker: SweepWorker, index: int, config: dict) -> dict:
+def _worker_run(worker: SweepWorker, index: int, config: dict,
+                shard_spec: dict | None = None) -> dict:
     t0 = time.perf_counter()
     try:
-        result = worker(config, _WORKER_CONTEXT, _WORKER_ARRAYS)
+        if shard_spec is not None:
+            # Run the task under a fresh registry writing a per-task JSONL
+            # shard; the parent merges shards after the sweep.  The pool's
+            # disabled default registry is restored on exit either way.
+            from ..obs.export import (config_digest, shard_path,
+                                      worker_telemetry)
+            path = shard_path(shard_spec["run_dir"], index,
+                              config_digest(config))
+            with worker_telemetry(path, task_index=index, config=config,
+                                  labels=shard_spec.get("labels")):
+                result = worker(config, _WORKER_CONTEXT, _WORKER_ARRAYS)
+        else:
+            result = worker(config, _WORKER_CONTEXT, _WORKER_ARRAYS)
         return {"index": index, "ok": True, "result": result,
                 "pid": os.getpid(), "seconds": time.perf_counter() - t0}
     except BaseException:  # noqa: BLE001 - surfaced to the parent
@@ -291,10 +314,33 @@ def _emit_outcome(outcome: SweepOutcome, index: int) -> None:
               ok=outcome.ok)
 
 
-def _run_inline(worker: SweepWorker, configs: Sequence[dict],
-                indices: Sequence[int], context: Any,
-                arrays: Mapping[str, np.ndarray] | None,
-                complete: Callable[[int, SweepOutcome], None]) -> None:
+def _discover_run_dir():
+    """The enabled default registry's JSONL run directory, if any.
+
+    Lets the sweep place worker shards next to the parent's ``trace.jsonl``
+    without threading a path through every driver: ``--telemetry DIR``
+    enables a :class:`~repro.obs.sinks.JsonlSink` at ``DIR/trace.jsonl``,
+    so ``DIR`` is the run dir.
+    """
+    from .. import obs
+
+    registry = obs.get_telemetry()
+    sink = registry.sink if registry.enabled else None
+    path = getattr(sink, "path", None)
+    return path.parent if path is not None else None
+
+
+def _shard_labels(context: Any) -> dict | None:
+    """Identity tags every shard carries (prepared-experiment hash)."""
+    if isinstance(context, Mapping) and "content_hash" in context:
+        return {"content_hash": context["content_hash"]}
+    return None
+
+
+def _iter_inline(worker: SweepWorker, configs: Sequence[dict],
+                 indices: Sequence[int], context: Any,
+                 arrays: Mapping[str, np.ndarray] | None
+                 ) -> Iterator[tuple[int, SweepOutcome]]:
     arrays = dict(arrays or {})
     for index in indices:
         config = configs[index]
@@ -309,23 +355,33 @@ def _run_inline(worker: SweepWorker, configs: Sequence[dict],
                                    error=traceback.format_exc(),
                                    worker_pid=os.getpid(),
                                    seconds=time.perf_counter() - t0)
-        complete(index, outcome)
+        yield index, outcome
 
 
-def _run_pool(worker: SweepWorker, configs: Sequence[dict],
-              indices: Sequence[int], context: Any,
-              arrays: Mapping[str, np.ndarray] | None,
-              jobs: int, start_method: str | None,
-              complete: Callable[[int, SweepOutcome], None]) -> None:
+def _iter_pool(worker: SweepWorker, configs: Sequence[dict],
+               indices: Sequence[int], context: Any,
+               arrays: Mapping[str, np.ndarray] | None,
+               jobs: int, start_method: str | None,
+               telemetry_dir: str | os.PathLike | None,
+               heartbeat_s: float) -> Iterator[tuple[int, SweepOutcome]]:
     from .. import obs
 
     t_start = time.perf_counter()
-    done: list[SweepOutcome] = []
+    done_outcomes: list[SweepOutcome] = []
+    run_dir = telemetry_dir if telemetry_dir is not None \
+        else _discover_run_dir()
+    shard_spec: dict | None = None
+    if run_dir is not None:
+        shard_spec = {"run_dir": str(run_dir)}
+        labels = _shard_labels(context)
+        if labels:
+            shard_spec["labels"] = labels
     # Everything that can fail between pack creation and pool startup
     # (start-method resolution, telemetry, executor spin-up) runs under the
     # same try/finally as the sweep itself, so an exception anywhere on
     # this path still closes + unlinks the shared-memory segment — no
-    # leaked /dev/shm blocks, whatever raises.
+    # leaked /dev/shm blocks, whatever raises.  The finally also fires on
+    # ``GeneratorExit`` when a consumer abandons the stream mid-sweep.
     pack: SharedArrayPack | None = None
     try:
         pack = SharedArrayPack.create(arrays) if arrays else None
@@ -334,42 +390,108 @@ def _run_pool(worker: SweepWorker, configs: Sequence[dict],
             if pack is not None:
                 obs.gauge("sweep.shared_bytes", pack.nbytes)
         ctx = get_context(start_method or default_start_method())
+        # Drain the parent sink's userspace buffer before forking: workers
+        # inherit the buffered file object and close it on init (disable),
+        # which would flush the parent's pending lines a second time per
+        # worker — duplicated records in trace.jsonl.
+        parent_sink = obs.get_telemetry().sink
+        if parent_sink is not None and hasattr(parent_sink, "flush"):
+            parent_sink.flush()
         with ProcessPoolExecutor(
                 max_workers=jobs, mp_context=ctx,
                 initializer=_worker_init,
                 initargs=(pack.spec() if pack else None, context)) as pool:
-            futures = [(i, pool.submit(_worker_run, worker, i, configs[i]))
-                       for i in indices]
-            for i, fut in futures:
-                try:
-                    payload = fut.result()
-                except BrokenProcessPool:
-                    raise SweepTaskError(
-                        configs[i],
-                        "worker process died before returning a result "
-                        "(killed or crashed hard); re-run with jobs=1 to "
-                        "reproduce in-process") from None
-                outcome = SweepOutcome(
-                    config=configs[i],
-                    result=payload.get("result"),
-                    error=None if payload["ok"] else payload["error"],
-                    worker_pid=payload["pid"],
-                    seconds=payload["seconds"])
-                done.append(outcome)
-                complete(i, outcome)
+            index_of = {
+                pool.submit(_worker_run, worker, i, configs[i],
+                            shard_spec): i
+                for i in indices}
+            waiting = set(index_of)
+            while waiting:
+                ready, waiting = wait(waiting, timeout=heartbeat_s,
+                                      return_when=FIRST_COMPLETED)
+                if not ready:
+                    # Nothing landed for a whole heartbeat window: a hung
+                    # worker shows up as a stalled span in the trace
+                    # instead of silent dead air.
+                    if obs.enabled():
+                        obs.event("sweep_heartbeat",
+                                  pending=len(waiting),
+                                  completed=len(done_outcomes),
+                                  elapsed_s=time.perf_counter() - t_start)
+                    continue
+                # ``wait`` hands back an unordered set; sort by submission
+                # index so same-batch completions stream deterministically.
+                for fut in sorted(ready, key=index_of.__getitem__):
+                    i = index_of[fut]
+                    try:
+                        payload = fut.result()
+                    except BrokenProcessPool:
+                        raise SweepTaskError(
+                            configs[i],
+                            "worker process died before returning a result "
+                            "(killed or crashed hard); re-run with jobs=1 "
+                            "to reproduce in-process") from None
+                    outcome = SweepOutcome(
+                        config=configs[i],
+                        result=payload.get("result"),
+                        error=None if payload["ok"] else payload["error"],
+                        worker_pid=payload["pid"],
+                        seconds=payload["seconds"])
+                    done_outcomes.append(outcome)
+                    yield i, outcome
+        wall = time.perf_counter() - t_start
+        if obs.enabled() and wall > 0:
+            busy = sum(o.seconds for o in done_outcomes)
+            obs.gauge("sweep.utilization", busy / (jobs * wall))
+            by_pid: dict[int, float] = {}
+            for o in done_outcomes:
+                by_pid[o.worker_pid] = (by_pid.get(o.worker_pid, 0.0)
+                                        + o.seconds)
+            for pid, seconds in sorted(by_pid.items()):
+                obs.event("sweep_worker", worker_pid=pid, busy_s=seconds,
+                          wall_s=wall)
     finally:
         if pack is not None:
             pack.close()
-    wall = time.perf_counter() - t_start
-    if obs.enabled() and wall > 0:
-        busy = sum(o.seconds for o in done)
-        obs.gauge("sweep.utilization", busy / (jobs * wall))
-        by_pid: dict[int, float] = {}
-        for o in done:
-            by_pid[o.worker_pid] = by_pid.get(o.worker_pid, 0.0) + o.seconds
-        for pid, seconds in sorted(by_pid.items()):
-            obs.event("sweep_worker", worker_pid=pid, busy_s=seconds,
-                      wall_s=wall)
+        if shard_spec is not None:
+            from ..obs.export import merge_worker_shards
+            try:
+                merge_worker_shards(shard_spec["run_dir"])
+            except OSError:  # merge is best-effort; shards stay on disk
+                pass
+
+
+def iter_sweep(worker: SweepWorker, configs: Sequence[dict], *,
+               jobs: int = 1,
+               arrays: Mapping[str, np.ndarray] | None = None,
+               context: Any = None,
+               start_method: str | None = None,
+               indices: Sequence[int] | None = None,
+               telemetry_dir: str | os.PathLike | None = None,
+               heartbeat_s: float = 30.0
+               ) -> Iterator[tuple[int, SweepOutcome]]:
+    """Stream ``(index, outcome)`` pairs as grid points complete.
+
+    The as-completed core of :func:`run_sweep`: with ``jobs > 1`` pairs
+    arrive in completion order (ties broken by submission index, so the
+    stream is deterministic for a fixed completion schedule); the inline
+    path yields in config order.  ``indices`` restricts execution to a
+    subset of ``configs`` (resume support) without renumbering.  Closing
+    the generator early releases the shared-memory pack and merges any
+    worker telemetry shards written so far.
+    """
+    configs = [dict(c) for c in configs]
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    todo = list(range(len(configs))) if indices is None else list(indices)
+    if not todo:
+        return
+    if jobs == 1 or len(todo) == 1:
+        yield from _iter_inline(worker, configs, todo, context, arrays)
+    else:
+        yield from _iter_pool(worker, configs, todo, context, arrays,
+                              min(jobs, len(todo)), start_method,
+                              telemetry_dir, heartbeat_s)
 
 
 def run_sweep(worker: SweepWorker, configs: Sequence[dict], *,
@@ -379,7 +501,10 @@ def run_sweep(worker: SweepWorker, configs: Sequence[dict], *,
               start_method: str | None = None,
               raise_on_error: bool = True,
               journal: "ResumeJournal | None" = None,
-              resume: bool = False) -> list[SweepOutcome]:
+              resume: bool = False,
+              on_result: Callable[[int, SweepOutcome], None] | None = None,
+              telemetry_dir: str | os.PathLike | None = None,
+              heartbeat_s: float = 30.0) -> list[SweepOutcome]:
     """Run ``worker`` over every config, optionally across processes.
 
     Parameters
@@ -416,6 +541,18 @@ def run_sweep(worker: SweepWorker, configs: Sequence[dict], *,
         persisted results returned as outcomes with
         ``extra={"resumed": True}``; only missing/failed points execute.
         Journal entries whose result file is missing or corrupt re-run.
+    on_result:
+        Optional ``on_result(index, outcome)`` hook invoked the moment each
+        grid point lands (completion order under ``jobs > 1``), including
+        once per journal-resumed point before execution starts.  This is
+        how live progress reporting (:class:`repro.obs.SweepProgress`)
+        attaches without touching the returned, config-ordered list.
+    telemetry_dir:
+        Run directory for per-task worker telemetry shards (``jobs > 1``);
+        defaults to the enabled default registry's trace directory, if any.
+    heartbeat_s:
+        With ``jobs > 1``: emit a ``sweep_heartbeat`` telemetry event when
+        no grid point completes for this many seconds.
     """
     from .. import obs
 
@@ -445,6 +582,8 @@ def run_sweep(worker: SweepWorker, configs: Sequence[dict], *,
                     extra={"resumed": True})
                 if obs.enabled():
                     obs.counter("sweep.tasks_resumed")
+                if on_result is not None:
+                    on_result(i, outcomes[i])
             else:
                 pending.append(i)
 
@@ -455,13 +594,22 @@ def run_sweep(worker: SweepWorker, configs: Sequence[dict], *,
             journal.record(keys[index], outcome.config, outcome.result,
                            seconds=outcome.seconds,
                            worker_pid=outcome.worker_pid)
+        if on_result is not None:
+            on_result(index, outcome)
         if not outcome.ok and raise_on_error:
             raise SweepTaskError(outcome.config, outcome.error) from None
 
     if pending:
-        if jobs == 1 or len(pending) == 1:
-            _run_inline(worker, configs, pending, context, arrays, complete)
-        else:
-            _run_pool(worker, configs, pending, context, arrays,
-                      min(jobs, len(pending)), start_method, complete)
+        stream = iter_sweep(worker, configs, jobs=jobs, arrays=arrays,
+                            context=context, start_method=start_method,
+                            indices=pending, telemetry_dir=telemetry_dir,
+                            heartbeat_s=heartbeat_s)
+        try:
+            for index, outcome in stream:
+                complete(index, outcome)
+        finally:
+            # Explicit close so abandoning the stream (SweepTaskError from
+            # ``complete``) releases the shm pack and merges telemetry
+            # shards deterministically, not at GC time.
+            stream.close()
     return [o for o in outcomes if o is not None]

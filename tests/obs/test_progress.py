@@ -1,0 +1,79 @@
+"""SweepProgress: streamed rows, ETA bookkeeping, resilience."""
+
+from __future__ import annotations
+
+import io
+
+from repro.obs import SweepProgress
+from repro.parallel.sweep import SweepOutcome
+
+
+def outcome(i, *, ok=True, seconds=2.0, resumed=False, acc=None):
+    class _Result:
+        final_accuracy = acc
+    extra = {"resumed": True} if resumed else {}
+    return SweepOutcome(config={"method": "deco", "ipc": i},
+                        result=_Result() if acc is not None else None,
+                        error=None if ok else "boom",
+                        worker_pid=0, seconds=seconds, extra=extra)
+
+
+def make_progress():
+    stream = io.StringIO()
+    progress = SweepProgress(stream=stream)
+    return progress, stream
+
+
+class TestSweepProgress:
+    def test_begin_announces_grid(self):
+        progress, stream = make_progress()
+        progress.begin(6, label="table1/core50", jobs=2)
+        assert stream.getvalue() == "[sweep table1/core50] 6 points, jobs=2\n"
+
+    def test_row_shows_config_accuracy_time_and_eta(self):
+        progress, stream = make_progress()
+        progress.begin(4, jobs=1)
+        progress(0, outcome(10, seconds=3.0, acc=0.875))
+        line = stream.getvalue().splitlines()[-1]
+        assert line.startswith("[sweep 1/4] deco ipc=10")
+        assert "acc=87.50%" in line
+        assert "3.0s" in line
+        assert "eta 9.0s" in line  # 3 remaining points at 3s each
+
+    def test_eta_divides_by_jobs(self):
+        progress, stream = make_progress()
+        progress.begin(4, jobs=2)
+        progress(0, outcome(1, seconds=4.0))
+        assert "eta 6.0s" in stream.getvalue()  # 3 * 4s / 2 jobs
+
+    def test_failure_marked_and_resumed_excluded_from_eta(self):
+        progress, stream = make_progress()
+        progress.begin(3)
+        progress(0, outcome(1, ok=False, seconds=1.0))
+        assert " FAILED" in stream.getvalue().splitlines()[-1]
+        progress(1, outcome(2, resumed=True, seconds=0.0))
+        line = stream.getvalue().splitlines()[-1]
+        assert "(resumed)" in line
+        # ETA still extrapolates from the one real timing, not the resume.
+        assert "eta 1.0s" in line
+
+    def test_last_row_has_no_eta(self):
+        progress, stream = make_progress()
+        progress.begin(1)
+        progress(0, outcome(1))
+        assert "eta" not in stream.getvalue().splitlines()[-1]
+
+    def test_begin_rearms_between_grids(self):
+        progress, stream = make_progress()
+        progress.begin(2, label="a")
+        progress(0, outcome(1))
+        progress.begin(2, label="b")
+        progress(0, outcome(1))
+        assert "[sweep b 1/2]" in stream.getvalue().splitlines()[-1]
+
+    def test_closed_stream_is_not_fatal(self):
+        stream = io.StringIO()
+        progress = SweepProgress(stream=stream)
+        progress.begin(2)
+        stream.close()
+        progress(0, outcome(1))  # must not raise

@@ -1,0 +1,173 @@
+"""Bench-history regression tracking: baselines, thresholds, tag matching."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import (append_history, check_regressions, compare_history,
+                       format_regress_report, load_history,
+                       metrics_from_snapshot, seed_history_from_snapshot)
+from repro.obs.regress import DEFAULT_THRESHOLD, HISTORY_FILENAME
+
+TAGS = {"platform": "test-box", "threads": 1}
+
+
+def entry(metrics, tags=TAGS):
+    return {"section": "kernels", "tags": dict(tags),
+            "metrics": dict(metrics)}
+
+
+def history(values, name="kernels/conv2d_fwd", tags=TAGS):
+    return [entry({name: v}, tags) for v in values]
+
+
+# ----------------------------------------------------------------------
+# compare_history
+# ----------------------------------------------------------------------
+class TestCompare:
+    def test_injected_slowdown_is_flagged(self):
+        report = compare_history(history([1.0, 1.0, 1.0, 1.25]))
+        assert not report.ok
+        (delta,) = report.regressions
+        assert delta.name == "kernels/conv2d_fwd"
+        assert delta.baseline == pytest.approx(1.0)
+        assert delta.ratio == pytest.approx(1.25)
+
+    def test_flat_history_passes(self):
+        report = compare_history(history([1.0, 1.02, 0.98, 1.01]))
+        assert report.ok
+        (delta,) = report.deltas
+        assert delta.verdict == "ok"
+
+    def test_threshold_is_inclusive_boundary(self):
+        at = compare_history(history([1.0, 1.0 + DEFAULT_THRESHOLD]))
+        below = compare_history(history([1.0, 1.0 + DEFAULT_THRESHOLD - 0.01]))
+        assert not at.ok
+        assert below.ok
+
+    def test_improvement_reported_but_never_fails(self):
+        report = compare_history(history([1.0, 1.0, 0.5]))
+        assert report.ok
+        assert report.deltas[0].verdict == "improved"
+
+    def test_first_entry_has_no_baseline(self):
+        report = compare_history(history([1.0]))
+        assert report.ok
+        (delta,) = report.deltas
+        assert delta.verdict == "no-baseline"
+        assert delta.baseline is None
+
+    def test_baseline_is_median_of_trailing_window(self):
+        # window=3 over [., 2.0, 2.0, 10.0] -> median 2.0; the old 1.0
+        # entries have scrolled out of the window.
+        report = compare_history(history([1.0, 1.0, 2.0, 2.0, 2.0, 2.6]),
+                                 window=3)
+        (delta,) = report.deltas
+        assert delta.baseline == pytest.approx(2.0)
+        assert delta.verdict == "regression"
+
+    def test_mismatched_tags_do_not_pollute_baseline(self):
+        other = {"platform": "other-box", "threads": 8}
+        entries = (history([0.1, 0.1], tags=other)  # fast foreign machine
+                   + history([1.0, 1.0, 1.05]))
+        report = compare_history(entries)
+        (delta,) = report.deltas
+        # Baseline comes only from same-tag entries; 1.05 vs 1.0 is ok,
+        # whereas mixing in the 0.1s would have flagged it.
+        assert delta.baseline == pytest.approx(1.0)
+        assert delta.verdict == "ok"
+
+    def test_metric_missing_from_newest_entry_still_judged(self):
+        entries = history([1.0, 1.0, 1.3]) + [entry({"kernels/other": 2.0})]
+        report = compare_history(entries)
+        verdicts = {d.name: d.verdict for d in report.deltas}
+        assert verdicts["kernels/conv2d_fwd"] == "regression"
+        assert verdicts["kernels/other"] == "no-baseline"
+
+
+# ----------------------------------------------------------------------
+# History file round trip
+# ----------------------------------------------------------------------
+class TestHistoryFile:
+    def test_append_and_check_round_trip(self, tmp_path):
+        path = tmp_path / HISTORY_FILENAME
+        for value in (1.0, 1.0, 1.0):
+            append_history(path, "kernels", {"kernels/conv2d_fwd": value},
+                           TAGS)
+        append_history(path, "kernels", {"kernels/conv2d_fwd": 1.5}, TAGS)
+        report = check_regressions(path)
+        assert not report.ok
+        assert report.regressions[0].ratio == pytest.approx(1.5)
+
+    def test_truncated_history_line_is_skipped(self, tmp_path):
+        path = tmp_path / HISTORY_FILENAME
+        append_history(path, "kernels", {"m": 1.0}, TAGS)
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"section": "kernels", "metr')  # killed mid-append
+        entries, skipped = load_history(path)
+        assert len(entries) == 1
+        assert skipped == 1
+        report = check_regressions(path)
+        assert report.skipped_lines == 1
+
+    def test_missing_history_is_empty_not_fatal(self, tmp_path):
+        report = check_regressions(tmp_path / "nope.jsonl")
+        assert report.ok
+        assert report.deltas == []
+
+    def test_seed_from_snapshot(self, tmp_path):
+        snapshot = {
+            "meta": {"platform": "test-box", "numpy": "2.0"},
+            "kernels": {"cases": {"conv2d_fwd": {"fast_s": 0.01,
+                                                 "seed_s": 0.05}}},
+            "condense_step": {"fast_s": 0.2},
+            "parallel_scaling": {"cpu_count": 4,
+                                 "intra_op": {"conv": {"threads=1": 0.3,
+                                                       "threads=4": 0.1}},
+                                 "sweep": {"jobs=2": 1.5}},
+        }
+        snap_path = tmp_path / "micro_kernels.json"
+        snap_path.write_text(json.dumps(snapshot))
+        entries = seed_history_from_snapshot(snap_path,
+                                             tmp_path / HISTORY_FILENAME)
+        assert [e["section"] for e in entries] == ["kernels", "condense_step",
+                                                   "parallel_scaling"]
+        loaded, skipped = load_history(tmp_path / HISTORY_FILENAME)
+        assert skipped == 0
+        all_metrics = {name for e in loaded for name in e["metrics"]}
+        assert all_metrics == {"kernels/conv2d_fwd", "condense_step",
+                               "parallel/conv/threads=1",
+                               "parallel/conv/threads=4",
+                               "parallel/sweep/jobs=2"}
+
+    def test_real_repo_history_passes(self):
+        # The committed seed history must never itself flag a regression.
+        report = check_regressions()
+        assert report.ok, [d.name for d in report.regressions]
+
+
+# ----------------------------------------------------------------------
+# metrics_from_snapshot / rendering
+# ----------------------------------------------------------------------
+class TestMetricsAndFormat:
+    def test_section_filter(self):
+        data = {"kernels": {"cases": {"a": {"fast_s": 1.0}}},
+                "condense_step": {"fast_s": 2.0}}
+        assert metrics_from_snapshot(data, sections=("kernels",)) == {
+            "kernels/a": 1.0}
+        assert metrics_from_snapshot(data) == {"kernels/a": 1.0,
+                                               "condense_step": 2.0}
+
+    def test_report_renders_table_and_summary(self):
+        report = compare_history(history([1.0, 1.0, 1.5]))
+        text = format_regress_report(report, history_path="h.jsonl")
+        assert "Bench-history regression check" in text
+        assert "kernels/conv2d_fwd" in text
+        assert "regression" in text
+        assert "1 regression(s)" in text
+
+    def test_empty_report_mentions_missing_history(self):
+        text = format_regress_report(compare_history([]))
+        assert "no bench history yet" in text

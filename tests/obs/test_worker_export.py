@@ -1,0 +1,147 @@
+"""Worker telemetry shards: export, deterministic merge, counter parity."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.obs import (Telemetry, aggregate_worker_counters, config_digest,
+                       merge_worker_shards, scoped_telemetry, shard_path,
+                       worker_telemetry)
+from repro.obs.export import SHARD_DIRNAME, WORKERS_FILENAME
+from repro.obs.sinks import read_jsonl_tolerant
+from repro.parallel import run_sweep
+
+
+def _counting_worker(config, context, arrays):
+    """Emit per-task counters/events through the ambient registry."""
+    n = int(config["i"]) + 1
+    obs.counter("task.calls")
+    obs.counter("task.units", n)
+    obs.event("task_done", i=config["i"])
+    return n * n
+
+
+# ----------------------------------------------------------------------
+# worker_telemetry
+# ----------------------------------------------------------------------
+class TestWorkerTelemetry:
+    def test_shard_carries_tags_seq_and_final_snapshot(self, tmp_path):
+        path = shard_path(tmp_path, 3, config_digest({"i": 3}))
+        with worker_telemetry(path, task_index=3, config={"i": 3},
+                              labels={"content_hash": "abc"}):
+            obs.counter("task.calls")
+            obs.event("task_done", i=3)
+        records, skipped = read_jsonl_tolerant(path)
+        assert skipped == 0
+        types = [r["type"] for r in records]
+        assert types[0] == "shard_start"
+        assert types[-1] == "worker_counters"
+        assert "task_done" in types
+        assert records[0]["content_hash"] == "abc"
+        assert [r["seq"] for r in records] == list(range(len(records)))
+        for record in records:
+            assert record["config_hash"] == config_digest({"i": 3})
+            assert record["task_index"] == 3
+        assert records[-1]["counters"] == {"task.calls": 1.0}
+
+    def test_snapshot_written_even_when_task_raises(self, tmp_path):
+        path = tmp_path / "shard.jsonl"
+        with pytest.raises(RuntimeError):
+            with worker_telemetry(path, task_index=0, config={}):
+                obs.counter("task.calls")
+                raise RuntimeError("task crashed")
+        records, _ = read_jsonl_tolerant(path)
+        assert records[-1]["type"] == "worker_counters"
+        assert records[-1]["counters"] == {"task.calls": 1.0}
+
+    def test_parent_registry_restored(self, tmp_path):
+        parent = obs.get_telemetry()
+        with worker_telemetry(tmp_path / "s.jsonl", task_index=0, config={}):
+            assert obs.get_telemetry() is not parent
+        assert obs.get_telemetry() is parent
+
+
+# ----------------------------------------------------------------------
+# merge_worker_shards
+# ----------------------------------------------------------------------
+class TestMerge:
+    def _write_shard(self, run_dir, index, config):
+        path = shard_path(run_dir, index, config_digest(config))
+        with worker_telemetry(path, task_index=index, config=config):
+            obs.counter("task.calls")
+        return path
+
+    def test_merge_orders_by_config_hash_then_index(self, tmp_path):
+        for index in (2, 0, 1):
+            self._write_shard(tmp_path, index, {"i": index})
+        merged = merge_worker_shards(tmp_path)
+        assert merged == tmp_path / WORKERS_FILENAME
+        records, _ = read_jsonl_tolerant(merged)
+        starts = [r for r in records if r["type"] == "shard_start"]
+        keys = [(r["config_hash"], r["task_index"]) for r in starts]
+        assert keys == sorted(keys)
+
+    def test_repeated_merges_are_byte_identical(self, tmp_path):
+        for index in range(3):
+            self._write_shard(tmp_path, index, {"i": index})
+        first = merge_worker_shards(tmp_path).read_bytes()
+        second = merge_worker_shards(tmp_path).read_bytes()
+        assert first == second
+
+    def test_truncated_tail_is_skipped_not_fatal(self, tmp_path):
+        path = self._write_shard(tmp_path, 0, {"i": 0})
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"type": "task_done", "seq": 99')  # killed mid-write
+        merged = merge_worker_shards(tmp_path)
+        text = merged.read_text()
+        assert '"seq": 99' not in text
+        for line in text.splitlines():
+            json.loads(line)  # every merged line is valid
+
+    def test_no_shards_returns_none(self, tmp_path):
+        assert merge_worker_shards(tmp_path) is None
+        (tmp_path / SHARD_DIRNAME).mkdir()
+        assert merge_worker_shards(tmp_path) is None
+
+
+# ----------------------------------------------------------------------
+# End-to-end: jobs=2 counter totals == jobs=1
+# ----------------------------------------------------------------------
+class TestCounterParity:
+    CONFIGS = [{"i": i} for i in range(4)]
+
+    def _serial_counters(self):
+        registry = Telemetry()
+        registry.enable()
+        with scoped_telemetry(registry):
+            run_sweep(_counting_worker, self.CONFIGS, jobs=1)
+        return registry.snapshot()["counters"]
+
+    def test_merged_counters_equal_serial_run(self, tmp_path):
+        serial = {name: value for name, value in self._serial_counters().items()
+                  if name.startswith("task.")}
+        assert serial == {"task.calls": 4.0, "task.units": 10.0}
+
+        outcomes = run_sweep(_counting_worker, self.CONFIGS, jobs=2,
+                             telemetry_dir=tmp_path)
+        assert [o.result for o in outcomes] == [(i + 1) ** 2
+                                                for i in range(4)]
+        shards = sorted((tmp_path / SHARD_DIRNAME).glob("*.jsonl"))
+        assert len(shards) == len(self.CONFIGS)
+        records, skipped = read_jsonl_tolerant(tmp_path / WORKERS_FILENAME)
+        assert skipped == 0
+        totals = {name: value
+                  for name, value in aggregate_worker_counters(records).items()
+                  if name.startswith("task.")}
+        assert totals == serial
+
+    def test_task_events_survive_into_merged_stream(self, tmp_path):
+        run_sweep(_counting_worker, self.CONFIGS, jobs=2,
+                  telemetry_dir=tmp_path)
+        records, _ = read_jsonl_tolerant(tmp_path / WORKERS_FILENAME)
+        done = [r for r in records if r["type"] == "task_done"]
+        assert sorted(r["i"] for r in done) == [0, 1, 2, 3]

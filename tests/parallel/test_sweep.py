@@ -7,8 +7,8 @@ import os
 import numpy as np
 import pytest
 
-from repro.parallel import (SharedArrayPack, SweepTaskError, run_sweep,
-                            sweep)
+from repro.parallel import (SharedArrayPack, SweepTaskError, iter_sweep,
+                            run_sweep, sweep)
 
 
 def _square_worker(config, context, arrays):
@@ -286,3 +286,99 @@ def test_no_leaked_segment_after_clean_sweep(track_created_packs):
               arrays={"base": np.array([1.0])})
     assert len(track_created_packs) == 1
     _assert_unlinked(track_created_packs[0])
+
+
+# ----------------------------------------------------------------------
+# iter_sweep: as-completed streaming
+# ----------------------------------------------------------------------
+def _slow_worker(config, context, arrays):
+    import time
+    time.sleep(config.get("sleep", 0.0))
+    return config["i"]
+
+
+def test_iter_sweep_inline_streams_in_config_order():
+    configs = [{"i": i} for i in range(4)]
+    pairs = list(iter_sweep(_square_worker, configs, jobs=1))
+    assert [index for index, _ in pairs] == [0, 1, 2, 3]
+    assert [outcome.result for _, outcome in pairs] == [0, 1, 4, 9]
+
+
+def test_iter_sweep_pool_yields_every_point_once():
+    configs = [{"i": i} for i in range(5)]
+    pairs = list(iter_sweep(_square_worker, configs, jobs=2))
+    assert sorted(index for index, _ in pairs) == list(range(5))
+    for index, outcome in pairs:
+        assert outcome.result == index ** 2
+        assert outcome.config == {"i": index}
+
+
+def test_iter_sweep_respects_indices_subset():
+    configs = [{"i": i} for i in range(6)]
+    pairs = list(iter_sweep(_square_worker, configs, jobs=1,
+                            indices=[4, 1]))
+    assert [index for index, _ in pairs] == [4, 1]
+
+
+def test_iter_sweep_early_close_releases_shared_memory(track_created_packs):
+    configs = [{"i": i} for i in range(4)]
+    stream = iter_sweep(_square_worker, configs, jobs=2,
+                        arrays={"base": np.array([1.0])})
+    next(stream)  # consume one point, then abandon the sweep
+    stream.close()
+    assert len(track_created_packs) == 1
+    _assert_unlinked(track_created_packs[0])
+
+
+def test_run_sweep_on_result_sees_every_point():
+    calls = []
+    configs = [{"i": i} for i in range(4)]
+    outcomes = run_sweep(_square_worker, configs, jobs=1,
+                         on_result=lambda i, o: calls.append((i, o.result)))
+    assert calls == [(0, 0), (1, 1), (2, 4), (3, 9)]
+    assert [o.result for o in outcomes] == [0, 1, 4, 9]
+
+
+def test_run_sweep_on_result_includes_resumed_points(tmp_path):
+    from repro.persist import ResumeJournal
+    configs = [{"i": i} for i in range(3)]
+    journal = ResumeJournal(tmp_path / "j.jsonl")
+    run_sweep(_square_worker, configs, journal=journal)
+
+    calls = []
+    journal2 = ResumeJournal(tmp_path / "j.jsonl")
+    outcomes = run_sweep(_square_worker, configs, journal=journal2,
+                         resume=True,
+                         on_result=lambda i, o: calls.append(
+                             (i, bool(o.extra.get("resumed")))))
+    assert calls == [(0, True), (1, True), (2, True)]
+    assert all(o.extra.get("resumed") for o in outcomes)
+
+
+def test_run_sweep_report_identical_with_and_without_streaming():
+    configs = [{"i": i} for i in range(5)]
+    serial = run_sweep(_square_worker, configs, jobs=1)
+    streamed = run_sweep(_square_worker, configs, jobs=2,
+                         on_result=lambda i, o: None)
+    assert [o.result for o in streamed] == [o.result for o in serial]
+    assert [o.config for o in streamed] == [o.config for o in serial]
+
+
+def test_pool_sweep_emits_heartbeat_for_slow_points(tmp_path):
+    from repro import obs
+    from repro.obs import Telemetry, scoped_telemetry
+    from repro.obs.sinks import JsonlSink, read_jsonl_tolerant
+
+    registry = Telemetry()
+    trace = tmp_path / "trace.jsonl"
+    registry.enable(JsonlSink(trace))
+    with scoped_telemetry(registry):
+        run_sweep(_slow_worker,
+                  [{"i": 0, "sleep": 0.5}, {"i": 1, "sleep": 0.5}],
+                  jobs=2, heartbeat_s=0.05)
+        registry.shutdown()
+    records, _ = read_jsonl_tolerant(trace)
+    beats = [r for r in records if r.get("type") == "sweep_heartbeat"]
+    assert beats
+    assert beats[0]["pending"] == 2
+    assert beats[0]["completed"] == 0

@@ -125,6 +125,106 @@ class TestKillAndResume:
             run(learner, checkpoint_every=0, checkpoint_dir=tmp_path)
 
 
+def make_replay_learner(strategy_name):
+    """A deterministic replay learner over the shared toy dataset."""
+    import copy
+
+    from repro.buffer.buffer import RawBuffer
+    from repro.buffer.selection import make_strategy
+    from repro.core.replay import ReplayLearner
+
+    buffer = RawBuffer(6, DS.image_shape())
+    return ReplayLearner(copy.deepcopy(MODEL), buffer,
+                         make_strategy(strategy_name),
+                         config=CONFIG, rng=np.random.default_rng(0))
+
+
+def assert_strategy_state_equal(a, b):
+    state_a, state_b = a.strategy.state_dict(), b.strategy.state_dict()
+    assert set(state_a) == set(state_b)
+    for key in state_a:
+        np.testing.assert_array_equal(state_a[key], state_b[key])
+
+
+class TestStrategyResume:
+    """Kill/resume must be bit-exact for every selection strategy.
+
+    The strategies with private cursors outside the buffer (FIFO's
+    next-slot pointer, GSS's gradient embeddings, herding's candidate
+    pools) are the regression targets: before they persisted state, a
+    resumed run silently diverged from the uninterrupted one.
+    """
+
+    @pytest.mark.parametrize("name", ["random", "fifo", "selective_bp",
+                                      "k_center", "gss_greedy", "herding"])
+    def test_resumed_replay_run_is_bit_identical(self, name, tmp_path):
+        reference = make_replay_learner(name)
+        ref_history = run(reference)
+
+        victim = make_replay_learner(name)
+        run(victim, checkpoint_every=2, checkpoint_dir=tmp_path)
+        bases = list_learner_checkpoints(tmp_path)
+        assert len(bases) >= 2
+        # Simulate a kill after the first checkpoint: drop the later ones.
+        for base in bases[1:]:
+            base.with_suffix(".npz").unlink()
+            base.with_suffix(".json").unlink()
+
+        resumed = make_replay_learner(name)
+        res_history = run(resumed, checkpoint_dir=tmp_path, resume=True)
+
+        assert res_history.accuracy == ref_history.accuracy
+        assert res_history.final_accuracy == ref_history.final_accuracy
+        assert_learners_identical(reference, resumed)
+        assert_strategy_state_equal(reference, resumed)
+
+    def test_fifo_cursor_round_trips(self, tmp_path):
+        from repro.buffer.selection import FIFO
+        fifo = FIFO()
+        fifo._next = 7
+        base = write_checkpoint(tmp_path / "fifo", kind="test",
+                                arrays=fifo.state_dict())
+        other = FIFO()
+        other.load_state_dict(read_checkpoint(base).arrays)
+        assert other._next == 7
+
+    def test_gss_embeddings_round_trip(self, tmp_path):
+        from repro.buffer.selection import GSSGreedy
+        rng = np.random.default_rng(2)
+        gss = GSSGreedy()
+        gss._errors = rng.standard_normal((4, 3)).astype(np.float32)
+        gss._feats = rng.standard_normal((4, 16)).astype(np.float32)
+        base = write_checkpoint(tmp_path / "gss", kind="test",
+                                arrays=gss.state_dict())
+        other = GSSGreedy()
+        other.load_state_dict(read_checkpoint(base).arrays)
+        assert other._errors.tobytes() == gss._errors.tobytes()
+        assert other._feats.tobytes() == gss._feats.tobytes()
+
+    def test_gss_without_embeddings_saves_nothing(self):
+        from repro.buffer.selection import GSSGreedy
+        assert GSSGreedy().state_dict() == {}
+
+    def test_herding_pools_round_trip(self, tmp_path):
+        from repro.buffer.selection import Herding
+        rng = np.random.default_rng(4)
+        herding = Herding()
+        herding._pool_x = {
+            0: [rng.standard_normal((1, 8, 8)).astype(np.float32)
+                for _ in range(3)],
+            2: [rng.standard_normal((1, 8, 8)).astype(np.float32)],
+        }
+        base = write_checkpoint(tmp_path / "herd", kind="test",
+                                arrays=herding.state_dict())
+        other = Herding()
+        other.load_state_dict(read_checkpoint(base).arrays)
+        assert set(other._pool_x) == {0, 2}
+        for cls, pool in herding._pool_x.items():
+            assert len(other._pool_x[cls]) == len(pool)
+            for mine, theirs in zip(pool, other._pool_x[cls]):
+                np.testing.assert_array_equal(mine, theirs)
+
+
 class TestBufferStateDict:
     def test_synthetic_buffer_round_trips_byte_for_byte(self, tmp_path):
         buffer = SyntheticBuffer(3, 2, (3, 8, 8))
