@@ -14,11 +14,15 @@ equivalent for this repo.  It runs, in order:
 5. the observability selfcheck (``python -m repro.obs.selfcheck``): a
    2-job grid runs with telemetry on; its merged worker shards must
    aggregate to the serial run's counters, byte-deterministically;
-6. a one-repeat pass of the micro-benchmarks (kernel cases, one condense
-   segment, and the parallel scaling matrix), which also refreshes the
-   counter snapshots attached to ``bench_results/micro_kernels.json`` and
-   appends to the bench history;
-7. a bench-history regression dry-run (``python -m repro obs regress
+6. the fused-FD selfcheck (``python -m repro.condensation.fd_selfcheck``):
+   the lane-grouped ±ε evaluator must be byte-identical to the sequential
+   two-pass path with clean probe/verification counters, and a micro
+   condense segment must produce identical pixels fused vs. unfused;
+7. a one-repeat pass of the micro-benchmarks (kernel cases, one condense
+   segment, the fused-FD comparison, and the parallel scaling matrix),
+   which also refreshes the counter snapshots attached to
+   ``bench_results/micro_kernels.json`` and appends to the bench history;
+8. a bench-history regression dry-run (``python -m repro obs regress
    --dry-run``): the trajectory verdict is printed; regressions are
    reported but only fail ``repro-check`` when ``--strict-bench`` is set.
 
@@ -109,6 +113,13 @@ def main(argv: list[str] | None = None) -> int:
         # run's (see repro.obs.selfcheck).
         failures += _run([sys.executable, "-m", "repro.obs.selfcheck"],
                          root, "observability selfcheck") != 0
+        # Fused-FD leg: the lane-grouped ±ε evaluator must reproduce the
+        # sequential bytes with clean verification counters, and fused vs.
+        # unfused segments must condense identical pixels (see
+        # repro.condensation.fd_selfcheck).
+        failures += _run([sys.executable, "-m",
+                          "repro.condensation.fd_selfcheck"],
+                         root, "fused-FD selfcheck") != 0
 
     if not args.skip_bench:
         bench_dir = root / "benchmarks" / "micro"
@@ -122,6 +133,10 @@ def main(argv: list[str] | None = None) -> int:
                               str(bench_dir / "bench_condense_step.py"),
                               "--repeats", repeats], root,
                              "micro-bench condense step") != 0
+            failures += _run([sys.executable,
+                              str(bench_dir / "bench_fd_fuse.py"),
+                              "--repeats", repeats], root,
+                             "micro-bench fused FD") != 0
             failures += _run([sys.executable,
                               str(bench_dir / "bench_parallel.py"),
                               "--repeats", repeats], root,

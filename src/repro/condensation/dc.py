@@ -126,12 +126,17 @@ class DCMatcher(CondensationMethod):
                         augmentation=augmentation)
                     distance, direction = distance_and_grad_wrt_gsyn(
                         g_syn, g_real, metric=self.metric)
+                    fd_stats: dict = {}
                     grad[rows] = finite_difference_matching_grad(
                         model, syn_pixels.data[rows], syn_labels[rows], direction,
-                        augmentation=augmentation)
+                        augmentation=augmentation, stats_out=fd_stats)
                     stats.matching_loss += distance
                     stats.iterations += 1
-                    stats.forward_backward_passes += 5
+                    # g_real, g_syn, grad_{g_syn}D, plus the FD evaluations
+                    # that actually ran (2 sequential, 1 fused, 0 zero-norm).
+                    stats.forward_backward_passes += 3 + fd_stats.get("passes", 2)
+                    if fd_stats.get("fused"):
+                        stats.extra["fused"] = stats.extra.get("fused", 0) + 1
                 syn_pixels.grad = grad
                 syn_optimizer.step()
                 syn_optimizer.zero_grad()

@@ -23,6 +23,7 @@ from ..nn.layers import Module, frozen_parameters
 from ..nn.losses import feature_discrimination_loss
 from ..nn.optim import SGD
 from ..nn.tensor import Tensor
+from ..nn.workspace import default_step_cache
 from .base import CondensationMethod, CondensationStats, ModelFactory
 from .matching import (distance_and_grad_wrt_gsyn,
                        finite_difference_matching_grad, parameter_gradients)
@@ -115,8 +116,10 @@ class OneStepMatcher(CondensationMethod):
         negatives = draws + (draws >= active_labels)
         involved = set(active_labels.tolist()) | set(negatives.tolist())
         rows = buffer.indices_for_classes(involved)
-        position_of = {int(r): k for k, r in enumerate(rows)}
-        local_active = [position_of[int(r)] for r in active_rows]
+        # ``rows`` is sorted ascending (sorted class blocks of ascending
+        # ranges) and contains every active row, so the active rows' local
+        # positions come from one vectorized binary search.
+        local_active = np.searchsorted(rows, active_rows)
 
         sub_tensor = Tensor(buffer.images[rows], requires_grad=True)
         deployed_model.zero_grad()
@@ -158,44 +161,77 @@ class OneStepMatcher(CondensationMethod):
         stats = CondensationStats()
         use_disc = self.alpha != 0.0 and deployed_model is not None
         model = model_factory(rng)
-        for _ in range(self.iterations):
-            if self.rerandomize:
-                model = model_factory(rng)
-            batch_x, batch_y, batch_w = self._real_batch(real_x, real_y, real_w, rng)
+        matching_passes = 0
+        fused_evals = 0
+        # One StepCache scope per iteration: pass.g_syn and the FD passes
+        # all read the same syn_pixels block, so its first-layer im2col is
+        # derived once and shared.  The scope is keyed by array identity;
+        # SGD.step rebinds syn_pixels.data to a fresh array, so the scope
+        # (and an explicit note_write) end before the optimizer runs.
+        caching = (kernels.fast_kernels_enabled() and kernels.fd_fuse_enabled())
+        # Segment-level scope on the real batch: when the whole real set fits
+        # in one batch, _real_batch returns real_x itself every iteration, so
+        # its first-layer columns are content-stable across the segment and
+        # pass.g_real reuses one im2col.  Subsampled batches are fresh arrays
+        # each iteration and simply never hit.
+        segment_scope = (default_step_cache.scope(real_x)
+                         if caching and len(real_x) <= self.batch_size
+                         else contextlib.nullcontext())
+        with segment_scope:
+            for _ in range(self.iterations):
+                if self.rerandomize:
+                    model = model_factory(rng)
+                batch_x, batch_y, batch_w = self._real_batch(
+                    real_x, real_y, real_w, rng)
 
-            with obs.span("pass.g_real"):
-                g_real, _ = parameter_gradients(model, batch_x, batch_y, batch_w)
-            with obs.span("pass.g_syn"):
-                g_syn, _ = parameter_gradients(model, syn_pixels.data, syn_labels)
-            with obs.span("pass.grad_distance"):
-                distance, direction = distance_and_grad_wrt_gsyn(
-                    g_syn, g_real, metric=self.metric)
-            matching_grad = finite_difference_matching_grad(
-                model, syn_pixels.data, syn_labels, direction,
-                epsilon_numerator=self.epsilon_numerator)
-            total_grad = matching_grad
-            # passes: g_real, g_syn, grad_{g_syn}D, and the two FD terms
-            stats.forward_backward_passes += 5
+                step_scope = (default_step_cache.scope(syn_pixels.data)
+                              if caching else contextlib.nullcontext())
+                with step_scope:
+                    with obs.span("pass.g_real"):
+                        g_real, _ = parameter_gradients(
+                            model, batch_x, batch_y, batch_w)
+                    with obs.span("pass.g_syn"):
+                        g_syn, _ = parameter_gradients(
+                            model, syn_pixels.data, syn_labels)
+                    with obs.span("pass.grad_distance"):
+                        distance, direction = distance_and_grad_wrt_gsyn(
+                            g_syn, g_real, metric=self.metric)
+                    fd_stats: dict = {}
+                    matching_grad = finite_difference_matching_grad(
+                        model, syn_pixels.data, syn_labels, direction,
+                        epsilon_numerator=self.epsilon_numerator,
+                        stats_out=fd_stats)
+                    total_grad = matching_grad
+                    # passes: g_real, g_syn, grad_{g_syn}D, plus however many
+                    # FD evaluations actually ran (2 sequential, 1 fused, 0
+                    # when the direction norm was zero).
+                    fd_passes = fd_stats.get("passes", 2)
+                    fused_evals += bool(fd_stats.get("fused"))
+                    stats.forward_backward_passes += 3 + fd_passes
+                    matching_passes += 3 + fd_passes
 
-            if use_disc:
-                # Keep the deployed model's view of the buffer current: the
-                # non-active rows come from the buffer, the active rows from
-                # the pixels being optimized.
-                buffer.images[active_rows] = syn_pixels.data
-                with obs.span("pass.discrimination"):
-                    disc_grad, disc_loss = self._discrimination_grad(
-                        buffer, active_rows, deployed_model, rng)
-                total_grad = total_grad + self.alpha * disc_grad
-                stats.forward_backward_passes += 1
-                stats.extra["discrimination_loss"] = disc_loss
+                    if use_disc:
+                        # Keep the deployed model's view of the buffer
+                        # current: the non-active rows come from the buffer,
+                        # the active rows from the pixels being optimized.
+                        buffer.images[active_rows] = syn_pixels.data
+                        with obs.span("pass.discrimination"):
+                            disc_grad, disc_loss = self._discrimination_grad(
+                                buffer, active_rows, deployed_model, rng)
+                        total_grad = total_grad + self.alpha * disc_grad
+                        stats.forward_backward_passes += 1
+                        stats.extra["discrimination_loss"] = disc_loss
 
-            syn_pixels.grad = np.asarray(total_grad, dtype=np.float32)
-            optimizer.step()
-            optimizer.zero_grad()
+                    default_step_cache.note_write(syn_pixels.data)
+                syn_pixels.grad = np.asarray(total_grad, dtype=np.float32)
+                optimizer.step()
+                optimizer.zero_grad()
 
-            stats.iterations += 1
-            stats.matching_loss += distance
+                stats.iterations += 1
+                stats.matching_loss += distance
 
         stats.matching_loss /= max(stats.iterations, 1)
+        stats.extra["matching_passes"] = matching_passes
+        stats.extra["fused"] = fused_evals
         buffer.images[active_rows] = syn_pixels.data
         return stats

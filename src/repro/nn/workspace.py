@@ -29,13 +29,14 @@ Knobs (also settable via environment variables, read at import time):
 
 from __future__ import annotations
 
+import contextlib
 import os
 import threading
 from collections import OrderedDict
 
 import numpy as np
 
-__all__ = ["WorkspaceArena", "default_arena"]
+__all__ = ["WorkspaceArena", "default_arena", "StepCache", "default_step_cache"]
 
 
 def _env_flag(name: str, default: bool) -> bool:
@@ -185,3 +186,154 @@ class WorkspaceArena:
 
 #: Process-wide arena used by the kernel layer.
 default_arena = WorkspaceArena()
+
+
+class StepCache:
+    """Per-step column-buffer cache keyed by array identity + generation.
+
+    The Eq. 7 matcher evaluates the *same* synthetic batch several times per
+    condense iteration (``pass.g_syn``, ``pass.fd_plus``, ``pass.fd_minus``)
+    with only the model weights perturbed — so the first-layer im2col columns
+    of ``syn_x`` are identical across those passes.  A :class:`StepCache`
+    scope makes :func:`repro.nn.functional.conv2d` compute them once and
+    serve the cached buffer to every subsequent conv over the same input
+    array within the scope.
+
+    Contract
+    --------
+    * **Identity-keyed, multi-pin.**  A scope pins one specific ``ndarray``;
+      scopes nest — the condense loop pins the real batch for the whole
+      segment (its columns never change) while each iteration additionally
+      pins the synthetic pixel block.  Lookups for any array that is not
+      currently pinned fall through — deeper-layer convs are never cached.
+      Pinned arrays are held by strong reference, so identity (``id``)
+      cannot be recycled while a scope is open.
+    * **Generation-tracked.**  :meth:`note_write` is the explicit
+      invalidation hook: the condense loop calls it after the optimizer
+      writes new pixel values, which bumps the content generation and drops
+      that array's cached buffers (releasing them back to the arena).
+      Entries from a previous generation can therefore never be served.
+    * **Bounded lifetime.**  An array's entries are dropped when its
+      outermost scope exits.  Invalidation must only happen at iteration
+      boundaries, after the backward passes consuming the cached columns
+      have run.
+    * Main-thread only: the condense drivers open scopes and run conv
+      forwards on the main thread (intra-op workers only execute shard
+      bodies handed to them).
+    """
+
+    def __init__(self, arena: WorkspaceArena | None = None) -> None:
+        self._arena = arena
+        self._pinned: dict[int, list] = {}  # id(arr) -> [arr, depth]
+        self._entries: dict[tuple, np.ndarray] = {}
+        self._owned_ids: set[int] = set()
+        self.generation = 0
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.invalidations = 0
+
+    # -- scope lifecycle ---------------------------------------------------
+    @property
+    def active(self) -> bool:
+        return bool(self._pinned)
+
+    @contextlib.contextmanager
+    def scope(self, arr: np.ndarray | None):
+        """Activate caching for ``arr`` within the ``with`` block.
+
+        Re-entrant for the same array (the FD evaluator opens a nested
+        scope inside the condense loop's per-iteration scope), and
+        composable across arrays (the segment-level real-batch scope wraps
+        the per-iteration synthetic scopes).  A no-op when ``arr`` is
+        ``None``.
+        """
+        if arr is None:
+            yield self
+            return
+        pin = self._pinned.get(id(arr))
+        if pin is not None and pin[0] is arr:
+            pin[1] += 1
+            try:
+                yield self
+            finally:
+                pin[1] -= 1
+            return
+        pin = [arr, 1]
+        self._pinned[id(arr)] = pin
+        try:
+            yield self
+        finally:
+            if pin[1] == 1:
+                self._drop_entries(id(arr))
+                del self._pinned[id(arr)]
+            else:  # pragma: no cover - unbalanced nesting guard
+                pin[1] -= 1
+
+    def _pinned_for(self, arr: np.ndarray) -> bool:
+        pin = self._pinned.get(id(arr))
+        return pin is not None and pin[0] is arr
+
+    # -- cache operations --------------------------------------------------
+    def lookup(self, arr: np.ndarray, key: tuple) -> np.ndarray | None:
+        """The cached buffer for ``(arr, key)``, or ``None``."""
+        if not self._pinned_for(arr):
+            return None
+        buf = self._entries.get((id(arr),) + key)
+        if buf is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return buf
+
+    def store(self, arr: np.ndarray, key: tuple, buf: np.ndarray) -> bool:
+        """Adopt ``buf`` for ``(arr, key)``.  Returns whether the cache took
+        ownership — if ``True`` the caller must no longer release ``buf``."""
+        full = (id(arr),) + key
+        if not self._pinned_for(arr) or full in self._entries:
+            return False
+        self._entries[full] = buf
+        self._owned_ids.add(id(buf))
+        self.stores += 1
+        return True
+
+    def owns(self, buf: np.ndarray) -> bool:
+        """Whether ``buf`` is currently a cache-owned entry."""
+        return id(buf) in self._owned_ids
+
+    def note_write(self, arr: np.ndarray) -> None:
+        """Explicit invalidation: ``arr``'s contents were just rewritten."""
+        if not self._pinned_for(arr):
+            return
+        aid = id(arr)
+        if any(k[0] == aid for k in self._entries):
+            self.invalidations += 1
+            self._drop_entries(aid)
+        else:
+            self.generation += 1
+
+    def _drop_entries(self, aid: int) -> None:
+        self.generation += 1
+        arena = self._arena if self._arena is not None else default_arena
+        for full in [k for k in self._entries if k[0] == aid]:
+            buf = self._entries.pop(full)
+            self._owned_ids.discard(id(buf))
+            arena.release(buf)
+
+    # -- introspection -----------------------------------------------------
+    def stats(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "invalidations": self.invalidations,
+            "entries": len(self._entries),
+            "generation": self.generation,
+        }
+
+    def reset_stats(self) -> None:
+        self.hits = self.misses = self.stores = self.invalidations = 0
+
+
+#: Process-wide per-step cache consulted by the conv forward.
+default_step_cache = StepCache()

@@ -107,6 +107,16 @@ def metrics_from_snapshot(data: Mapping[str, Any],
         for key, value in (scaling.get("sweep") or {}).items():
             if key.startswith("jobs="):
                 metrics[f"parallel/sweep/{key}"] = float(value)
+    fd_fuse = data.get("fd_fuse") or {}
+    if want("fd_fuse"):
+        # Track the fused numbers (the regression target) and the unfused
+        # baseline (so a rot in the fallback path is caught too).
+        for key, name in (("fused_s", "fd_fuse/segment_fused"),
+                          ("unfused_s", "fd_fuse/segment_unfused"),
+                          ("fd_eval_fused_s", "fd_fuse/eval_fused"),
+                          ("fd_eval_unfused_s", "fd_fuse/eval_unfused")):
+            if key in fd_fuse:
+                metrics[name] = float(fd_fuse[key])
     return metrics
 
 

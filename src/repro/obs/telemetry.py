@@ -292,6 +292,12 @@ def collect_runtime_counters(registry: Telemetry | None = None, *,
     from ..parallel import intra_op  # local import, same reason as kernels
     for key, val in intra_op.stats().items():
         values[f"parallel.{key}"] = float(val)
+    from ..nn.workspace import default_step_cache  # local import, as above
+    for key, val in default_step_cache.stats().items():
+        values[f"step_cache.{key}"] = float(val)
+    from ..condensation.matching import fd_fuse_stats  # local import, as above
+    for key, val in fd_fuse_stats().items():
+        values[f"fd.{key}"] = float(val)
     if registry.enabled:
         for name, value in values.items():
             registry.gauge(name, value)

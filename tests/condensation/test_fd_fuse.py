@@ -1,0 +1,214 @@
+"""Fused finite-difference engine: bit-identity, caching, end-to-end runs.
+
+Three layers of guarantees:
+
+* the fused (lane-grouped) ±ε evaluation of Eq. (7) is **byte-equal** to
+  the sequential two-pass evaluation on the learner-test shapes;
+* the per-step im2col cache (``StepCache``) never serves stale columns —
+  an in-place mutation of the cached array plus ``note_write`` drops the
+  entries and the next conv recomputes from the new bytes;
+* a full seeded DECO learner run is bit-identical fused vs. unfused
+  (``condense_passes`` excluded: fusing legitimately halves the FD pass
+  count, which is the point).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.condensation import matching
+from repro.nn import functional as F
+from repro.nn import kernels
+from repro.nn.convnet import ConvNet
+from repro.nn.tensor import Tensor
+from repro.nn.workspace import default_step_cache
+
+
+@pytest.fixture(autouse=True)
+def _restore_fd_fuse():
+    enabled = kernels.fd_fuse_enabled()
+    matching.clear_fd_fuse_verdicts()
+    matching.reset_fd_fuse_stats()
+    default_step_cache.reset_stats()
+    yield
+    kernels.set_fd_fuse(enabled)
+    matching.clear_fd_fuse_verdicts()
+    matching.reset_fd_fuse_stats()
+    default_step_cache.reset_stats()
+
+
+def _fd_case(shape, num_classes, width, depth, n, seed=0):
+    rng = np.random.default_rng(seed)
+    model = ConvNet(shape[0], num_classes, shape[-1], width=width,
+                    depth=depth, rng=np.random.default_rng(seed + 7))
+    x = rng.standard_normal((n, *shape)).astype(np.float32)
+    y = rng.integers(0, num_classes, size=n).astype(np.int64)
+    direction = [rng.standard_normal(p.data.shape).astype(np.float32)
+                 for p in model.parameters()]
+    return model, x, y, direction
+
+
+# ----------------------------------------------------------------------
+# Fused vs. sequential bit-identity
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("shape,classes,width,depth,n", [
+    ((1, 8, 8), 3, 4, 2, 6),       # the learner-test ConvNet
+    ((3, 16, 16), 5, 8, 2, 10),
+    ((3, 32, 32), 10, 16, 3, 32),  # CIFAR-ish, depth 3
+])
+def test_fused_fd_grad_byte_equal(shape, classes, width, depth, n):
+    model, x, y, direction = _fd_case(shape, classes, width, depth, n)
+
+    kernels.set_fd_fuse(False)
+    reference = matching.finite_difference_matching_grad(model, x, y, direction)
+
+    kernels.set_fd_fuse(True)
+    matching.clear_fd_fuse_verdicts()
+    # First call verifies fused-vs-serial byte equality in situ ...
+    stats: dict = {}
+    verified = matching.finite_difference_matching_grad(
+        model, x, y, direction, stats_out=stats)
+    assert stats == {"passes": 1, "fused": True}
+    np.testing.assert_array_equal(reference, verified)
+    # ... later calls dispatch straight to the fused path.
+    stats = {}
+    fused = matching.finite_difference_matching_grad(
+        model, x, y, direction, stats_out=stats)
+    assert stats == {"passes": 1, "fused": True}
+    np.testing.assert_array_equal(reference, fused)
+
+    counts = matching.fd_fuse_stats()
+    assert counts["verifications"] == 1
+    assert counts["verification_failures"] == 0
+    assert counts["fused_dispatches"] == 2
+    assert counts["serial_fallbacks"] == 0
+
+
+def test_augmented_or_disabled_paths_stay_sequential():
+    model, x, y, direction = _fd_case((1, 8, 8), 3, 4, 2, 6)
+    kernels.set_fd_fuse(True)
+
+    from repro.data.transforms import sample_augmentation
+    augmentation = sample_augmentation(8, np.random.default_rng(0))
+    stats: dict = {}
+    matching.finite_difference_matching_grad(
+        model, x, y, direction, augmentation=augmentation, stats_out=stats)
+    assert stats == {"passes": 2, "fused": False}
+
+    kernels.set_fd_fuse(False)
+    stats = {}
+    matching.finite_difference_matching_grad(model, x, y, direction,
+                                             stats_out=stats)
+    assert stats == {"passes": 2, "fused": False}
+
+
+def test_zero_direction_short_circuits():
+    model, x, y, direction = _fd_case((1, 8, 8), 3, 4, 2, 6)
+    kernels.set_fd_fuse(True)
+    zeros = [np.zeros_like(d) for d in direction]
+    stats: dict = {}
+    grad = matching.finite_difference_matching_grad(model, x, y, zeros,
+                                                    stats_out=stats)
+    assert stats == {"passes": 0, "fused": False}
+    assert not grad.any()
+
+
+def test_non_convnet_model_falls_back(monkeypatch):
+    model, x, y, direction = _fd_case((1, 8, 8), 3, 4, 2, 6)
+    kernels.set_fd_fuse(True)
+    kernels.set_fast_kernels(True)
+    monkeypatch.setattr(matching, "_fuse_layout", lambda m: None)
+    matching.reset_fd_fuse_stats()
+    stats: dict = {}
+    matching.finite_difference_matching_grad(model, x, y, direction,
+                                             stats_out=stats)
+    assert stats == {"passes": 2, "fused": False}
+    assert matching.fd_fuse_stats()["serial_fallbacks"] == 1
+
+
+# ----------------------------------------------------------------------
+# StepCache: reuse within a scope, no stale columns after note_write
+# ----------------------------------------------------------------------
+def _conv_out(x_arr):
+    rng = np.random.default_rng(11)
+    w = Tensor(rng.standard_normal((4, 1, 3, 3)).astype(np.float32))
+    b = Tensor(rng.standard_normal((4,)).astype(np.float32))
+    return F.conv2d(Tensor(x_arr), w, b, stride=1, padding=1).data.copy()
+
+
+def test_step_cache_hits_within_scope():
+    x = np.random.default_rng(5).standard_normal((6, 1, 8, 8)).astype(np.float32)
+    fresh = _conv_out(x)
+    default_step_cache.reset_stats()
+    with default_step_cache.scope(x):
+        first = _conv_out(x)
+        second = _conv_out(x)
+    np.testing.assert_array_equal(fresh, first)
+    np.testing.assert_array_equal(fresh, second)
+    stats = default_step_cache.stats()
+    assert stats["stores"] >= 1
+    assert stats["hits"] >= 1
+    assert stats["entries"] == 0  # scope exit drops all entries
+
+
+def test_step_cache_invalidation_drops_stale_columns():
+    rng = np.random.default_rng(6)
+    x = rng.standard_normal((6, 1, 8, 8)).astype(np.float32)
+    mutated = rng.standard_normal(x.shape).astype(np.float32)
+    expected = _conv_out(mutated.copy())
+
+    default_step_cache.reset_stats()
+    with default_step_cache.scope(x):
+        _conv_out(x)  # populates the cache for ``x``
+        x[:] = mutated  # optimizer-style in-place pixel update
+        default_step_cache.note_write(x)
+        after = _conv_out(x)
+    np.testing.assert_array_equal(expected, after)
+    assert default_step_cache.stats()["invalidations"] == 1
+
+
+def test_step_cache_ignores_foreign_arrays():
+    x = np.random.default_rng(7).standard_normal((4, 1, 8, 8)).astype(np.float32)
+    other = np.random.default_rng(8).standard_normal((4, 1, 8, 8)).astype(np.float32)
+    fresh_other = _conv_out(other.copy())
+    default_step_cache.reset_stats()
+    with default_step_cache.scope(x):
+        _conv_out(x)
+        np.testing.assert_array_equal(fresh_other, _conv_out(other))
+    # nothing cached across scopes
+    assert default_step_cache.stats()["entries"] == 0
+
+
+# ----------------------------------------------------------------------
+# End-to-end: seeded DECO learner run, fused vs. unfused
+# ----------------------------------------------------------------------
+def _norm(v):
+    if isinstance(v, float) and math.isnan(v):
+        return "nan"
+    return v
+
+
+def _fingerprint(result):
+    # ``condense_passes`` legitimately differs: fusing halves the FD pass
+    # count.  Everything else must be bit-identical.
+    return (result.final_accuracy,
+            [sorted((k, _norm(v)) for k, v in d.items()
+                    if k != "condense_passes")
+             for d in result.history.diagnostics])
+
+
+def test_deco_learner_run_bit_identical_fused_vs_unfused():
+    from repro.experiments import prepare_experiment, run_method
+
+    prepared = prepare_experiment("core50", "micro", seed=0)
+    kernels.set_fd_fuse(False)
+    unfused = run_method(prepared, "deco", 1, seed=0)
+    kernels.set_fd_fuse(True)
+    matching.clear_fd_fuse_verdicts()
+    fused = run_method(prepared, "deco", 1, seed=0)
+    assert _fingerprint(unfused) == _fingerprint(fused)
+    # Fusing must actually have engaged — fewer passes, same results.
+    assert fused.condense_passes < unfused.condense_passes

@@ -97,7 +97,11 @@ class TestOneStepMatcher:
         stats = OneStepMatcher(iterations=4, alpha=0.0).condense(
             buffer, [0, 1], x, y, None, model_factory=factory, rng=rng)
         assert stats.iterations == 4
-        assert stats.forward_backward_passes == 4 * 5  # Eq. 7: 5 passes/iter
+        # Eq. 7: 5 passes/iter sequentially; each fused evaluation folds the
+        # +eps/-eps passes into one grouped dispatch, saving one pass.
+        fused = stats.extra.get("fused", 0)
+        assert stats.forward_backward_passes == 4 * 5 - fused
+        assert stats.extra["matching_passes"] == stats.forward_backward_passes
 
     def test_pass_counting_with_discrimination(self, buffer, real_data,
                                                factory, deployed, rng):
@@ -105,7 +109,8 @@ class TestOneStepMatcher:
         stats = OneStepMatcher(iterations=3, alpha=0.1).condense(
             buffer, [0], x[y == 0], y[y == 0], None, model_factory=factory,
             rng=rng, deployed_model=deployed)
-        assert stats.forward_backward_passes == 3 * 6
+        fused = stats.extra.get("fused", 0)
+        assert stats.forward_backward_passes == 3 * 6 - fused
         assert "discrimination_loss" in stats.extra
 
     def test_matching_loss_reported(self, buffer, real_data, factory, rng):
