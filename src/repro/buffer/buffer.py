@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..obs.memory import track_object
 from ..utils.rng import to_rng
 
 __all__ = ["SyntheticBuffer", "RawBuffer"]
@@ -37,6 +38,8 @@ class SyntheticBuffer:
         self.image_shape = tuple(image_shape)
         self.images = np.zeros((num_classes * ipc, *image_shape), dtype=np.float32)
         self.labels = np.repeat(np.arange(num_classes, dtype=np.int64), ipc)
+        track_object("buffer.synthetic", self,
+                     self.images.nbytes + self.labels.nbytes)
 
     # -- capacity ----------------------------------------------------------
     def __len__(self) -> int:
@@ -146,6 +149,8 @@ class RawBuffer:
         self.aux: dict[str, np.ndarray] = {}
         self.count = 0
         self.total_seen = 0
+        track_object("buffer.raw", self,
+                     self.images.nbytes + self.labels.nbytes)
 
     def __len__(self) -> int:
         return self.count

@@ -18,11 +18,15 @@ equivalent for this repo.  It runs, in order:
    the lane-grouped ±ε evaluator must be byte-identical to the sequential
    two-pass path with clean probe/verification counters, and a micro
    condense segment must produce identical pixels fused vs. unfused;
-7. a one-repeat pass of the micro-benchmarks (kernel cases, one condense
+7. the memory-ledger selfcheck (``python -m repro.obs.ledger_selfcheck``):
+   ledger byte accounts must agree with tracemalloc within tolerance,
+   jobs=2 memory footprints must equal serial, and exported Chrome traces
+   must pass schema validation with memory counter tracks;
+8. a one-repeat pass of the micro-benchmarks (kernel cases, one condense
    segment, the fused-FD comparison, and the parallel scaling matrix),
    which also refreshes the counter snapshots attached to
    ``bench_results/micro_kernels.json`` and appends to the bench history;
-8. a bench-history regression dry-run (``python -m repro obs regress
+9. a bench-history regression dry-run (``python -m repro obs regress
    --dry-run``): the trajectory verdict is printed; regressions are
    reported but only fail ``repro-check`` when ``--strict-bench`` is set.
 
@@ -120,6 +124,13 @@ def main(argv: list[str] | None = None) -> int:
         failures += _run([sys.executable, "-m",
                           "repro.condensation.fd_selfcheck"],
                          root, "fused-FD selfcheck") != 0
+        # Ledger leg: the memory ledger must agree with tracemalloc, the
+        # jobs=2 footprints must equal serial, and both runs must export
+        # schema-valid Perfetto traces with memory counter tracks (see
+        # repro.obs.ledger_selfcheck).
+        failures += _run([sys.executable, "-m",
+                          "repro.obs.ledger_selfcheck"],
+                         root, "memory ledger + trace export selfcheck") != 0
 
     if not args.skip_bench:
         bench_dir = root / "benchmarks" / "micro"

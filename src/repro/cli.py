@@ -12,6 +12,8 @@ Usage::
     python -m repro run --method deco --dataset core50 --ipc 10
     python -m repro checkpoints runs/ckpt
     python -m repro obs summarize runs/trace
+    python -m repro obs summarize runs/trace --json
+    python -m repro obs trace runs/trace
     python -m repro obs regress --dry-run
 
 Every subcommand accepts ``--profile micro|smoke|paper`` and ``--seed`` and
@@ -61,6 +63,12 @@ def build_parser() -> argparse.ArgumentParser:
                         metavar="DIR",
                         help="record a JSONL telemetry trace of the run "
                              "into DIR/trace.jsonl")
+    parser.add_argument("--trace", type=pathlib.Path, default=None,
+                        metavar="OUT.json",
+                        help="additionally export the run's telemetry as "
+                             "Chrome trace-event JSON (Perfetto-loadable); "
+                             "implies telemetry recording (into a temporary "
+                             "directory unless --telemetry is also given)")
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="worker processes for experiment grids "
                              "(table1/table2/fig4a/fig4b/ablations); "
@@ -139,6 +147,19 @@ def build_parser() -> argparse.ArgumentParser:
     summ.add_argument("trace", type=pathlib.Path,
                       help="trace.jsonl file or the run directory "
                            "written by --telemetry")
+    summ.add_argument("--json", action="store_true", dest="as_json",
+                      help="emit one machine-readable JSON document "
+                           "mirroring the rendered tables")
+    trc = obs_sub.add_parser("trace",
+                             help="export a telemetry run as Chrome "
+                                  "trace-event JSON (load in Perfetto)")
+    trc.add_argument("trace", type=pathlib.Path,
+                     help="trace.jsonl file or the run directory "
+                          "written by --telemetry")
+    trc.add_argument("--out", type=pathlib.Path, default=None,
+                     metavar="OUT.json",
+                     help="output path (default: "
+                          "<run_dir>/trace.chrome.json)")
     reg = obs_sub.add_parser("regress",
                              help="compare the newest bench-history entries "
                                   "against their trailing baselines")
@@ -179,8 +200,33 @@ def _dispatch(args: argparse.Namespace) -> str:
     if args.command == "obs":
         if args.action == "regress":
             return _obs_regress(args)
-        from .obs import summarize_trace
+        if args.action == "trace":
+            from .obs import export_trace, trace_stats, validate_trace
+            import json
+            try:
+                out = export_trace(args.trace, args.out)
+            except FileNotFoundError as exc:
+                raise SystemExit(f"repro obs: error: {exc}") from exc
+            trace = json.loads(out.read_text(encoding="utf-8"))
+            stats = trace_stats(trace)
+            problems = validate_trace(trace)
+            lines = [f"trace-event JSON written to {out}",
+                     f"  {stats['span_events']} span events on "
+                     f"{stats['span_lanes']} lane(s), "
+                     f"{stats['counter_tracks']} counter track(s) "
+                     f"({stats['memory_counter_tracks']} memory)",
+                     f"  load it at ui.perfetto.dev or chrome://tracing"]
+            if problems:
+                lines.append(f"  WARNING: {len(problems)} schema problem(s), "
+                             f"e.g. {problems[0]}")
+            return "\n".join(lines)
         try:
+            if getattr(args, "as_json", False):
+                from .obs import summarize_trace_json
+                import json
+                return json.dumps(summarize_trace_json(args.trace),
+                                  indent=1, sort_keys=True)
+            from .obs import summarize_trace
             return summarize_trace(args.trace)
         except FileNotFoundError as exc:
             raise SystemExit(f"repro obs: error: {exc}") from exc
@@ -264,10 +310,17 @@ def main(argv: list[str] | None = None) -> int:
     if args.threads is not None:
         from .parallel import intra_op
         intra_op.set_num_threads(args.threads)
-    tracing = args.telemetry is not None and args.command != "obs"
+    tracing = ((args.telemetry is not None or args.trace is not None)
+               and args.command != "obs")
+    run_dir = args.telemetry
     if tracing:
+        if run_dir is None:
+            # --trace without --telemetry: record into a scratch run dir
+            # that exists only to feed the export.
+            import tempfile
+            run_dir = pathlib.Path(tempfile.mkdtemp(prefix="repro-trace-"))
         from . import obs
-        obs.enable(args.telemetry)
+        obs.enable(run_dir)
         obs.event("run_start", command=args.command, profile=args.profile,
                   seed=args.seed)
     try:
@@ -280,7 +333,12 @@ def main(argv: list[str] | None = None) -> int:
     print(report)
     if args.output is not None:
         args.output.write_text(report + "\n")
-    if tracing:
+    if tracing and args.trace is not None:
+        from .obs import export_trace
+        out = export_trace(run_dir, args.trace)
+        print(f"[Chrome trace-event JSON saved to {out} — load it at "
+              f"ui.perfetto.dev]")
+    if args.telemetry is not None and args.command != "obs":
         print(f"[telemetry trace saved to {args.telemetry}/trace.jsonl — "
               f"summarize with: python -m repro obs summarize {args.telemetry}]")
     return 0

@@ -42,6 +42,12 @@ class LearnerConfig:
         Optional cap on SGD steps per model update, applied identically to
         every method; bounds the cost of updates on very large buffers
         (e.g. CIFAR-100 at IpC=50) on the CPU substrate.
+    memory_budget_bytes:
+        Declared on-device memory budget for the learner's persistent state
+        (buffer payload + model parameters).  Purely observational: each
+        segment's ``memory`` telemetry event reports the footprint against
+        it and a breach bumps the ``memory.budget_exceeded`` counter — the
+        run itself is never throttled.
     """
 
     beta: int = 10
@@ -51,6 +57,7 @@ class LearnerConfig:
     weight_decay: float = 5e-4
     batch_size: int = 128
     max_update_steps: int | None = None
+    memory_budget_bytes: int | None = None
 
     def __post_init__(self) -> None:
         if self.beta < 1:
@@ -83,6 +90,11 @@ class LearnerHistory:
         return self.accuracy[-1]
 
 
+def _model_nbytes(model: Module) -> int:
+    """Parameter payload bytes of one network."""
+    return sum(p.data.nbytes for p in model.parameters())
+
+
 class OnDeviceLearner(abc.ABC):
     """Base class wiring a model + buffer into the streaming loop."""
 
@@ -92,6 +104,7 @@ class OnDeviceLearner(abc.ABC):
         self.config = config
         self.rng = to_rng(rng)
         self._scratch: Module | None = None
+        obs.track_object("model.params", self, _model_nbytes(model))
 
     # -- subclass responsibilities ------------------------------------------
     @abc.abstractmethod
@@ -111,8 +124,51 @@ class OnDeviceLearner(abc.ABC):
         """
         if self._scratch is None:
             self._scratch = copy.deepcopy(self.model)
+            obs.track_object("model.params", self._scratch,
+                             _model_nbytes(self._scratch))
         init.reinitialize(self._scratch, rng)
         return self._scratch
+
+    # -- memory accounting ---------------------------------------------------
+    def buffer_nbytes(self) -> int:
+        """Bytes of the learner's persistent sample store.
+
+        The default covers any learner with a ``self.buffer`` exposing
+        ``images``/``labels`` ndarrays (plus ``aux`` metadata columns);
+        learners with a different store override this.
+        """
+        buffer = getattr(self, "buffer", None)
+        if buffer is None:
+            return 0
+        total = 0
+        for name in ("images", "labels"):
+            arr = getattr(buffer, name, None)
+            if arr is not None:
+                total += int(arr.nbytes)
+        aux = getattr(buffer, "aux", None)
+        if isinstance(aux, dict):
+            total += sum(int(v.nbytes) for v in aux.values())
+        return total
+
+    def memory_footprint(self) -> dict[str, int]:
+        """Byte footprint of the learner's persistent on-device state.
+
+        ``buffer_bytes`` + deployed-model ``model_bytes`` — the quantities
+        the paper's memory budget constrains (the condensation scratch
+        network and transient workspace live in the ledger's other
+        accounts).  ``peak_bytes`` folds in the process-wide tracked
+        high-water mark, so a segment that transiently doubled tracked
+        memory is visible even in the per-run report.
+        """
+        buffer_bytes = self.buffer_nbytes()
+        model_bytes = _model_nbytes(self.model)
+        total = buffer_bytes + model_bytes
+        return {
+            "buffer_bytes": buffer_bytes,
+            "model_bytes": model_bytes,
+            "total_bytes": total,
+            "peak_bytes": max(obs.default_ledger.high_water_bytes, total),
+        }
 
     # -- checkpointing ---------------------------------------------------
     def _extra_state(self) -> dict[str, np.ndarray]:
@@ -230,6 +286,15 @@ class OnDeviceLearner(abc.ABC):
                 obs.event("segment", segment=segment.index,
                           samples_seen=samples_seen, retrain=retrained,
                           **fields)
+                foot = self.memory_footprint()
+                budget = self.config.memory_budget_bytes
+                budget_ok = (budget is None
+                             or foot["total_bytes"] <= budget)
+                if not budget_ok:
+                    obs.counter("memory.budget_exceeded")
+                obs.event("memory", segment=segment.index,
+                          budget_bytes=budget, budget_ok=budget_ok, **foot)
+                obs.default_ledger.maybe_sample_rss()
             if (eval_every is not None
                     and (segment.index + 1) % eval_every == 0):
                 history.record_eval(

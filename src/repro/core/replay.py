@@ -84,6 +84,11 @@ class UpperBoundLearner(OnDeviceLearner):
         self._labels.append(segment.hidden_labels)
         return {}
 
+    def buffer_nbytes(self) -> int:
+        """The oracle's "buffer" is every retained segment."""
+        return (sum(int(x.nbytes) for x in self._images)
+                + sum(int(y.nbytes) for y in self._labels))
+
     def training_set(self) -> tuple[np.ndarray, np.ndarray]:
         if not self._images:
             return (np.empty((0,)), np.empty((0,), dtype=np.int64))

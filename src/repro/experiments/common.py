@@ -75,6 +75,7 @@ class PreparedExperiment:
             # roughly "train_epochs epochs on a 1k-sample buffer", applied
             # identically to every method so comparisons stay fair.
             max_update_steps=self.profile.train_epochs * 8,
+            memory_budget_bytes=self.profile.memory_budget_mb * 2 ** 20,
         )
 
 
@@ -281,12 +282,21 @@ def run_method(prepared: PreparedExperiment, method: str, ipc: int, *,
                           checkpoint_dir=checkpoint_dir, resume=resume)
     wall = time.perf_counter() - start
 
+    # Memory accounting works with telemetry disabled: the footprint is one
+    # post-run probe of the learner's persistent state, judged against the
+    # profile's declared on-device budget.
+    foot = learner.memory_footprint()
+    budget = config.memory_budget_bytes
+    memory = dict(foot, budget_bytes=budget,
+                  budget_ok=budget is None or foot["total_bytes"] <= budget)
+
     return MethodResult(
         method=method if method != "deco" else f"deco[{condenser_name}]",
         ipc=ipc, seed=seed, final_accuracy=history.final_accuracy,
         history=history, wall_seconds=wall,
         condense_seconds=timed.total_seconds if timed else 0.0,
         condense_passes=timed.total_passes if timed else 0,
+        extra={"memory": memory},
     )
 
 

@@ -50,6 +50,11 @@ class ExperimentProfile:
         Offline condensation rounds for buffer initialization.
     num_seeds:
         Trials per configuration (paper: 5).
+    memory_budget_mb:
+        Declared on-device memory budget (MiB) for the learner's persistent
+        state (buffer payload + deployed model).  Observational — the
+        per-segment ``memory`` telemetry events and the accuracy-per-byte
+        report columns are judged against it; nothing is throttled.
     """
 
     name: str
@@ -62,21 +67,25 @@ class ExperimentProfile:
     condense_iterations: int
     offline_condense_rounds: int
     num_seeds: int
+    memory_budget_mb: int = 64
 
 
 _PROFILES = {
     "micro": ExperimentProfile(
         name="micro", dataset_profile="micro", model_width=8, model_depth=2,
         segment_size=8, pretrain_epochs=6, train_epochs=5,
-        condense_iterations=2, offline_condense_rounds=1, num_seeds=1),
+        condense_iterations=2, offline_condense_rounds=1, num_seeds=1,
+        memory_budget_mb=8),
     "smoke": ExperimentProfile(
         name="smoke", dataset_profile="smoke", model_width=16, model_depth=2,
         segment_size=15, pretrain_epochs=20, train_epochs=12,
-        condense_iterations=10, offline_condense_rounds=1, num_seeds=1),
+        condense_iterations=10, offline_condense_rounds=1, num_seeds=1,
+        memory_budget_mb=32),
     "paper": ExperimentProfile(
         name="paper", dataset_profile="paper", model_width=32, model_depth=3,
         segment_size=24, pretrain_epochs=40, train_epochs=60,
-        condense_iterations=10, offline_condense_rounds=2, num_seeds=5),
+        condense_iterations=10, offline_condense_rounds=2, num_seeds=5,
+        memory_budget_mb=128),
 }
 
 # Per-dataset on-device learning rates (§IV-A3: 1e-3 everywhere except

@@ -8,13 +8,25 @@ from __future__ import annotations
 
 from typing import Sequence
 
-__all__ = ["format_table", "format_series", "format_mean_std"]
+__all__ = ["format_table", "format_series", "format_mean_std", "format_bytes"]
 
 
 def format_mean_std(mean: float, std: float, *, scale: float = 100.0,
                     digits: int = 2) -> str:
     """Render an accuracy as the paper does: ``29.84±0.26`` (percent)."""
     return f"{mean * scale:.{digits}f}±{std * scale:.{digits}f}"
+
+
+def format_bytes(nbytes: float) -> str:
+    """Render a byte count human-readably: ``312.0KiB``, ``4.9MiB``."""
+    value = float(nbytes)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if abs(value) < 1024.0 or unit == "GiB":
+            if unit == "B":
+                return f"{value:.0f}B"
+            return f"{value:.1f}{unit}"
+        value /= 1024.0
+    return f"{value:.1f}GiB"  # pragma: no cover - loop always returns
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence[str]],

@@ -48,12 +48,26 @@ class Table1Result:
 
     cells: dict[tuple[str, int, str], Table1Cell] = field(default_factory=dict)
     upper_bounds: dict[str, float] = field(default_factory=dict)
+    #: (dataset, ipc, method) -> persistent footprint in bytes (buffer +
+    #: deployed model, from the run's memory accounting).
+    memory_bytes: dict[tuple[str, int, str], int] = field(default_factory=dict)
     datasets: tuple[str, ...] = ()
     ipcs: tuple[int, ...] = ()
     baselines: tuple[str, ...] = ()
 
     def cell(self, dataset: str, ipc: int, method: str) -> Table1Cell:
         return self.cells[(dataset, ipc, method)]
+
+    def accuracy_per_mib(self, dataset: str, ipc: int, method: str) -> float:
+        """Mean accuracy (%) per MiB of persistent on-device state.
+
+        The paper states memory as images-per-class; this is the same story
+        in bytes — how much accuracy each method buys per MiB it holds.
+        """
+        nbytes = self.memory_bytes.get((dataset, ipc, method))
+        if not nbytes:
+            return float("nan")
+        return self.cell(dataset, ipc, method).mean * 100.0 / (nbytes / 2 ** 20)
 
     def best_baseline(self, dataset: str, ipc: int) -> tuple[str, float]:
         """Name and mean accuracy of the strongest baseline for a config."""
@@ -111,11 +125,17 @@ def run_table1(*, datasets: Sequence[str] = DEFAULT_DATASETS,
             progress=progress)
         ub_accs = []
         for (ipc, method, seed), run in zip(grid, runs):
+            memory = (run.extra or {}).get("memory")
             if method == "upper_bound":
                 ub_accs.append(run.final_accuracy)
                 continue
             cell = result.cells.setdefault((dataset, ipc, method), Table1Cell())
             cell.accuracies.append(run.final_accuracy)
+            if memory and memory.get("total_bytes"):
+                # The footprint is structural (buffer geometry + model),
+                # identical across seeds — keep the last one seen.
+                result.memory_bytes[(dataset, ipc, method)] = int(
+                    memory["total_bytes"])
         if include_upper_bound:
             result.upper_bounds[dataset] = float(np.mean(ub_accs))
     return result
@@ -124,7 +144,7 @@ def run_table1(*, datasets: Sequence[str] = DEFAULT_DATASETS,
 def format_table1(result: Table1Result) -> str:
     """Render the result in the paper's Table I layout."""
     headers = (["Dataset", "IpC"] + list(result.baselines)
-               + ["DECO (Ours)", "Improvement", "Upper Bound"])
+               + ["DECO (Ours)", "Improvement", "Acc/MiB", "Upper Bound"])
     rows = []
     for dataset in result.datasets:
         for i, ipc in enumerate(result.ipcs):
@@ -135,6 +155,8 @@ def format_table1(result: Table1Result) -> str:
             deco = result.cell(dataset, ipc, "deco")
             row.append(format_mean_std(deco.mean, deco.std))
             row.append(f"{result.improvement(dataset, ipc):+.1f}%")
+            per_mib = result.accuracy_per_mib(dataset, ipc, "deco")
+            row.append("-" if per_mib != per_mib else f"{per_mib:.1f}")
             ub = result.upper_bounds.get(dataset)
             row.append(f"{ub * 100:.2f}%" if (i == 0 and ub is not None) else "")
             rows.append(row)

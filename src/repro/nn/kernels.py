@@ -524,6 +524,25 @@ class ConvPlan:
             self.shard_safe(oc, ckk, nshards)
         return self._fwd_out_order[key]
 
+    def approx_nbytes(self) -> int:
+        """Approximate resident bytes of this plan.
+
+        The lazily built scatter index and any lane-plan ndarrays dominate;
+        the slice table and the small per-plan dicts are covered by a flat
+        per-entry overhead estimate (the ledger's 10% audit tolerance
+        absorbs the slack).
+        """
+        total = 512 + 96 * len(self.slices)
+        if self._scatter_index is not None:
+            total += self._scatter_index.nbytes
+        for info in self._lane_plans.values():
+            if isinstance(info, dict):
+                for value in info.values():
+                    nbytes = getattr(value, "nbytes", None)
+                    if nbytes is not None:
+                        total += int(nbytes)
+        return total
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"ConvPlan(n={self.n}, c={self.c}, hw=({self.h},{self.w}), "
                 f"k=({self.kh},{self.kw}), stride={self.stride}, pad={self.pad})")
@@ -560,10 +579,20 @@ def get_conv_plan(n: int, c: int, h: int, w: int, kh: int, kw: int,
 
 
 def plan_cache_info() -> dict[str, int]:
+    info = {}
     with _PLAN_LOCK:
-        return {"size": len(_PLAN_CACHE), "limit": _PLAN_CACHE_LIMIT,
-                "hits": _PLAN_HITS, "misses": _PLAN_MISSES,
-                "evictions": _PLAN_EVICTIONS}
+        info.update(size=len(_PLAN_CACHE), limit=_PLAN_CACHE_LIMIT,
+                    hits=_PLAN_HITS, misses=_PLAN_MISSES,
+                    evictions=_PLAN_EVICTIONS)
+    info["approx_bytes"] = plan_cache_nbytes()
+    return info
+
+
+def plan_cache_nbytes() -> int:
+    """Approximate resident bytes of all cached plans (caller holds no lock)."""
+    with _PLAN_LOCK:
+        plans = list(_PLAN_CACHE.values())
+    return sum(plan.approx_nbytes() for plan in plans)
 
 
 def clear_plan_cache() -> None:
@@ -582,6 +611,14 @@ def set_plan_cache_limit(limit: int) -> None:
         while len(_PLAN_CACHE) > _PLAN_CACHE_LIMIT:
             _PLAN_CACHE.popitem(last=False)
             _PLAN_EVICTIONS += 1
+
+
+# Pull-style memory-ledger account for the plan LRU (cf. the arena/step-cache
+# providers in repro.nn.workspace; repro.obs.memory is stdlib-only so the
+# import cannot cycle back here).
+from ..obs.memory import default_ledger as _default_ledger  # noqa: E402
+
+_default_ledger.register_provider("cache.conv_plans", plan_cache_nbytes)
 
 
 # ----------------------------------------------------------------------

@@ -321,6 +321,10 @@ class StepCache:
             arena.release(buf)
 
     # -- introspection -----------------------------------------------------
+    def entry_bytes(self) -> int:
+        """Bytes currently pinned by cached column buffers."""
+        return sum(buf.nbytes for buf in self._entries.values())
+
     def stats(self) -> dict[str, int]:
         return {
             "hits": self.hits,
@@ -328,6 +332,7 @@ class StepCache:
             "stores": self.stores,
             "invalidations": self.invalidations,
             "entries": len(self._entries),
+            "entry_bytes": self.entry_bytes(),
             "generation": self.generation,
         }
 
@@ -337,3 +342,14 @@ class StepCache:
 
 #: Process-wide per-step cache consulted by the conv forward.
 default_step_cache = StepCache()
+
+# Pull-style memory-ledger accounts: the arena and step cache already keep
+# exact byte counts, so the ledger polls them on snapshot instead of taxing
+# every acquire/release.  repro.obs.memory is stdlib-only (no numpy, no
+# telemetry) so this import cannot cycle back into the kernel layer.
+from ..obs.memory import default_ledger as _default_ledger  # noqa: E402
+
+_default_ledger.register_provider("workspace.arena",
+                                  lambda: default_arena.pooled_bytes)
+_default_ledger.register_provider("cache.step_cache",
+                                  default_step_cache.entry_bytes)

@@ -9,6 +9,11 @@ Three pieces:
   is one ``trace.jsonl`` per run directory.
 * :mod:`repro.obs.summary` — renders a trace back into the repo's
   standard report tables (``repro obs summarize``).
+* :mod:`repro.obs.memory` — the byte-accurate memory ledger: named
+  accounts for every long-lived allocation class, high-water gauge, RSS
+  sampling, tracemalloc deep audit.
+* :mod:`repro.obs.trace` — Chrome trace-event export (``repro obs
+  trace``): span flame + memory counter tracks, Perfetto-loadable.
 
 Hot-path call sites import the module functions (``obs.span``,
 ``obs.event``, ``obs.enabled``) rather than a registry object, so the
@@ -17,6 +22,8 @@ disabled path is a single flag check.
 
 from .export import (aggregate_worker_counters, config_digest,
                      merge_worker_shards, shard_path, worker_telemetry)
+from .memory import (DeepAuditReport, MemoryLedger, default_ledger,
+                     track_object)
 from .progress import SweepProgress
 from .regress import (append_history, check_regressions, compare_history,
                       format_regress_report, load_history,
@@ -27,7 +34,9 @@ from .telemetry import (Telemetry, collect_runtime_counters, counter, disable,
                         enable, enabled, event, gauge, get_telemetry, observe,
                         reset, scoped_telemetry, shutdown, snapshot, span)
 from .summary import (load_events, load_events_with_stats, summarize_events,
-                      summarize_trace)
+                      summarize_events_data, summarize_trace,
+                      summarize_trace_json)
+from .trace import (build_trace, export_trace, trace_stats, validate_trace)
 
 __all__ = [
     "Telemetry",
@@ -50,5 +59,15 @@ __all__ = [
     "NullSink",
     "load_events",
     "summarize_events",
+    "summarize_events_data",
     "summarize_trace",
+    "summarize_trace_json",
+    "MemoryLedger",
+    "DeepAuditReport",
+    "default_ledger",
+    "track_object",
+    "build_trace",
+    "export_trace",
+    "validate_trace",
+    "trace_stats",
 ]

@@ -1,0 +1,177 @@
+"""Memory-ledger + trace-export self-check (ledger leg of repro-check).
+
+Run as ``python -m repro.obs.ledger_selfcheck``.  Verifies the byte
+accounting and the Perfetto export end to end:
+
+1. **Deep audit** — allocating a ~4.9 MB :class:`SyntheticBuffer` inside a
+   :meth:`~repro.obs.memory.MemoryLedger.deep_audit` region must move the
+   ledger and ``tracemalloc`` by the same amount (within 10%): the ledger's
+   byte counts are real allocations, not estimates.
+2. **Serial run** — a 2-point micro grid (fifo + deco) with telemetry into
+   a run directory must emit per-segment ``memory`` events carrying
+   ``buffer_bytes``/``model_bytes``/``total_bytes``/``peak_bytes``, and
+   every method result must carry the same footprint in
+   ``extra["memory"]``.
+3. **Parallel parity** — the same grid at ``jobs=2`` must report exactly
+   the serial footprints, both in the results and in the multiset of
+   (buffer, model, total) triples across the workers' ``memory`` events
+   (``peak_bytes``/RSS are process-dependent and excluded).
+4. **Trace export smoke** — both run directories must export to Chrome
+   trace-event JSON that passes :func:`~repro.obs.trace.validate_trace`
+   (matched B/E pairs, monotone ts per lane, numeric counters), with at
+   least three memory counter tracks and, for the jobs=2 run, worker spans
+   on distinct lanes.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+import tempfile
+import time
+
+DATASET = "core50"
+PROFILE = "micro"
+CONFIGS = (
+    {"method": "fifo", "ipc": 1, "seed": 0},
+    {"method": "deco", "ipc": 1, "seed": 0},
+)
+
+
+class SelfCheckFailure(AssertionError):
+    pass
+
+
+def _check(condition: bool, message: str) -> None:
+    if not condition:
+        raise SelfCheckFailure(message)
+
+
+def _footprints(results) -> list[tuple]:
+    """Comparable (method, ipc, buffer, model, total, budget_ok) tuples."""
+    out = []
+    for result in results:
+        memory = (result.extra or {}).get("memory") or {}
+        out.append((result.method, result.ipc,
+                    memory.get("buffer_bytes"), memory.get("model_bytes"),
+                    memory.get("total_bytes"), memory.get("budget_ok")))
+    return out
+
+
+def _memory_event_triples(events) -> list[tuple]:
+    """Sorted (buffer, model, total) triples of all ``memory`` events."""
+    return sorted((ev.get("buffer_bytes"), ev.get("model_bytes"),
+                   ev.get("total_bytes"))
+                  for ev in events if ev.get("type") == "memory")
+
+
+def _run_grid(prepared, configs, run_dir: pathlib.Path, *, jobs: int):
+    from ..experiments.grid import run_method_grid
+    from .sinks import JsonlSink
+    from .telemetry import Telemetry, collect_runtime_counters, scoped_telemetry
+
+    registry = Telemetry()
+    registry.enable(JsonlSink.for_run_dir(run_dir))
+    with scoped_telemetry(registry):
+        results = run_method_grid(prepared, configs, jobs=jobs)
+        collect_runtime_counters(registry)
+    registry.shutdown()
+    return results
+
+
+def _validate_export(run_dir: pathlib.Path, *, label: str,
+                     expect_lanes: int) -> None:
+    from .trace import export_trace, trace_stats, validate_trace
+
+    out = export_trace(run_dir)
+    trace = json.loads(out.read_text(encoding="utf-8"))
+    problems = validate_trace(trace)
+    _check(not problems,
+           f"{label}: exported trace has schema problems, e.g. "
+           f"{problems[:3]}")
+    stats = trace_stats(trace)
+    _check(stats["span_events"] > 0, f"{label}: trace exported no spans")
+    _check(stats["memory_counter_tracks"] >= 3,
+           f"{label}: expected >= 3 memory counter tracks, got "
+           f"{stats['memory_counter_tracks']}")
+    _check(stats["span_lanes"] >= expect_lanes,
+           f"{label}: expected >= {expect_lanes} span lanes, got "
+           f"{stats['span_lanes']}")
+
+
+def main() -> int:
+    import numpy as np  # noqa: F401  (environment sanity: numpy present)
+
+    from ..buffer.buffer import SyntheticBuffer
+    from ..experiments.common import prepare_experiment
+    from .memory import default_ledger
+    from .summary import load_events, summarize_trace
+
+    t0 = time.perf_counter()
+
+    print("[ledger-selfcheck] deep audit: ledger vs tracemalloc")
+    with default_ledger.deep_audit(tolerance=0.10) as report:
+        audit_buffer = SyntheticBuffer(10, 40, (3, 32, 32))
+    _check(report.account_deltas.get("buffer.synthetic", 0)
+           == audit_buffer.images.nbytes + audit_buffer.labels.nbytes,
+           "buffer.synthetic account did not record the buffer payload")
+    _check(report.ok,
+           f"ledger delta {report.ledger_delta} vs tracemalloc "
+           f"{report.traced_delta} disagree beyond 10%")
+    del audit_buffer
+
+    configs = [dict(c) for c in CONFIGS]
+    prepared = prepare_experiment(DATASET, PROFILE, seed=0)
+
+    with tempfile.TemporaryDirectory(prefix="repro-ledger-check-") as tmp:
+        serial_dir = pathlib.Path(tmp) / "serial"
+        jobs_dir = pathlib.Path(tmp) / "jobs2"
+
+        print(f"[ledger-selfcheck] serial run: {len(configs)}-point grid "
+              f"on {DATASET}/{PROFILE}, jobs=1")
+        serial_results = _run_grid(prepared, configs, serial_dir, jobs=1)
+        serial_events = load_events(serial_dir)
+        serial_memory = [ev for ev in serial_events
+                         if ev.get("type") == "memory"]
+        _check(bool(serial_memory), "serial run emitted no memory events")
+        for key in ("buffer_bytes", "model_bytes", "total_bytes",
+                    "peak_bytes", "budget_ok"):
+            _check(all(key in ev for ev in serial_memory),
+                   f"memory events missing {key!r}")
+        _check(all(ev["peak_bytes"] >= ev["total_bytes"]
+                   for ev in serial_memory),
+               "memory event peak_bytes below total_bytes")
+        serial_feet = _footprints(serial_results)
+        _check(all(total for *_, total, _ok in serial_feet),
+               "a serial result is missing its memory footprint")
+
+        print("[ledger-selfcheck] parallel run: jobs=2")
+        jobs_results = _run_grid(prepared, configs, jobs_dir, jobs=2)
+        _check(_footprints(jobs_results) == serial_feet,
+               "jobs=2 memory footprints differ from serial: "
+               f"{_footprints(jobs_results)} vs {serial_feet}")
+        jobs_events = load_events(jobs_dir)
+        _check(_memory_event_triples(jobs_events)
+               == _memory_event_triples(serial_events),
+               "jobs=2 per-segment memory events do not match serial")
+
+        print("[ledger-selfcheck] summarize renders the memory table")
+        _check("Memory footprint (per segment)" in summarize_trace(serial_dir),
+               "summarize did not render the memory table")
+
+        print("[ledger-selfcheck] trace-export smoke: serial + jobs=2")
+        _validate_export(serial_dir, label="serial", expect_lanes=1)
+        _validate_export(jobs_dir, label="jobs=2", expect_lanes=2)
+
+    print(f"[ledger-selfcheck] OK: byte accounting audited, jobs=2 parity "
+          f"holds, traces validate ({time.perf_counter() - t0:.1f}s)")
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except SelfCheckFailure as exc:
+        print(f"[ledger-selfcheck] FAILED: {exc}")
+        sys.exit(1)

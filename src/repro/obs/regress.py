@@ -6,7 +6,8 @@ slower.  This module adds the missing time axis:
 
 * every micro-benchmark run appends one JSON line per section to an
   **append-only history** (``bench_results/bench_history.jsonl``) holding
-  the run's flat metrics (seconds per benchmark) plus tags identifying
+  the run's flat metrics (seconds per benchmark, plus peak-memory byte
+  gauges from the condense-step bench) and tags identifying
   the measurement context (platform, numpy, cpu count, intra-op threads);
 * :func:`compare_history` judges the newest value of every metric against
   a **trailing baseline** — the median of up to the prior ``window``
@@ -96,8 +97,15 @@ def metrics_from_snapshot(data: Mapping[str, Any],
             if isinstance(row, Mapping) and "fast_s" in row:
                 metrics[f"kernels/{case}"] = float(row["fast_s"])
     condense = data.get("condense_step") or {}
-    if want("condense_step") and "fast_s" in condense:
-        metrics["condense_step"] = float(condense["fast_s"])
+    if want("condense_step"):
+        if "fast_s" in condense:
+            metrics["condense_step"] = float(condense["fast_s"])
+        # Peak-memory gauges ride in the same history and are judged by
+        # the same trailing-median rule as the timings: a segment that
+        # starts allocating 20% more transient bytes is a regression too.
+        for key in ("peak_traced_bytes", "arena_high_water_bytes"):
+            if key in condense:
+                metrics[f"condense_step/{key}"] = float(condense[key])
     scaling = data.get("parallel_scaling") or {}
     if want("parallel_scaling"):
         for case, entry in (scaling.get("intra_op") or {}).items():
@@ -279,6 +287,15 @@ def check_regressions(history_path: str | os.PathLike | None = None, *,
 # ----------------------------------------------------------------------
 # Rendering
 # ----------------------------------------------------------------------
+def _format_metric_value(name: str, value: float) -> str:
+    """Timings render as milliseconds, ``*_bytes`` gauges human-readably."""
+    if name.endswith("_bytes"):
+        # Lazy import: repro.experiments transitively imports repro.obs.
+        from ..experiments.reporting import format_bytes
+        return format_bytes(value)
+    return f"{value * 1e3:.2f}ms"
+
+
 def format_regress_report(report: RegressionReport,
                           history_path: str | os.PathLike | None = None
                           ) -> str:
@@ -288,12 +305,13 @@ def format_regress_report(report: RegressionReport,
 
     rows = []
     for delta in report.deltas:
-        baseline = (f"{delta.baseline * 1e3:.2f}"
+        baseline = (_format_metric_value(delta.name, delta.baseline)
                     if delta.baseline is not None else "-")
         ratio = delta.ratio
         change = f"{(ratio - 1.0) * 100:+.1f}%" if ratio is not None else "-"
-        rows.append([delta.name, f"{delta.newest * 1e3:.2f}", baseline,
-                     str(delta.samples), change, delta.verdict])
+        rows.append([delta.name,
+                     _format_metric_value(delta.name, delta.newest),
+                     baseline, str(delta.samples), change, delta.verdict])
     header = []
     if history_path is not None:
         header.append(f"bench history: {history_path}")
@@ -305,7 +323,7 @@ def format_regress_report(report: RegressionReport,
                       "to record a first entry")
         return "\n".join(header)
     table = format_table(
-        ["benchmark", "newest-ms", f"baseline-ms (median of <= "
+        ["benchmark", "newest", f"baseline (median of <= "
          f"{report.window})", "n", "delta", "verdict"],
         rows, title="Bench-history regression check")
     summary = (f"{len(report.regressions)} regression(s) at "

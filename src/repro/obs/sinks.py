@@ -8,6 +8,7 @@ single ``trace.jsonl`` — one JSON object per line — which
 
 from __future__ import annotations
 
+import atexit
 import json
 import pathlib
 from typing import Any
@@ -79,7 +80,10 @@ class JsonlSink(EventSink):
     """Appends one JSON line per event, buffered with periodic flushes.
 
     ``flush_every`` bounds how many records can be lost on a crash without
-    paying an fsync per event on the hot path.
+    paying an fsync per event on the hot path.  An ``atexit`` hook closes
+    the sink on interpreter shutdown, so a script that exits without
+    calling ``obs.shutdown()`` still gets its buffered tail on disk (a
+    hard kill or os._exit still loses at most ``flush_every - 1`` records).
     """
 
     def __init__(self, path: str | pathlib.Path, *,
@@ -90,6 +94,7 @@ class JsonlSink(EventSink):
         self._pending = 0
         self.flush_every = max(1, int(flush_every))
         self.written = 0
+        atexit.register(self.close)
 
     @classmethod
     def for_run_dir(cls, run_dir: str | pathlib.Path) -> "JsonlSink":
@@ -113,6 +118,7 @@ class JsonlSink(EventSink):
         if not self._fh.closed:
             self._fh.flush()
             self._fh.close()
+        atexit.unregister(self.close)
 
     # Context-manager form so short-lived writers (sweep workers, tests)
     # can guarantee the buffered tail reaches disk on every exit path.

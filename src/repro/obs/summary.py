@@ -31,7 +31,7 @@ def _format_table(headers, rows, title=None) -> str:
     return format_table(headers, rows, title=title)
 
 __all__ = ["load_events", "load_events_with_stats", "summarize_events",
-           "summarize_trace"]
+           "summarize_events_data", "summarize_trace", "summarize_trace_json"]
 
 
 def load_events_with_stats(
@@ -121,6 +121,33 @@ def _span_rows(events: Iterable[dict]) -> list[list[str]]:
         count, total, peak = agg[name]
         rows.append([name, str(int(count)), f"{total * 1e3:.1f}",
                      f"{total / count * 1e3:.3f}", f"{peak * 1e3:.3f}"])
+    return rows
+
+
+def _fmt_bytes(value: Any) -> str:
+    from ..experiments.reporting import format_bytes  # lazy, cf. _format_table
+    if value is None:
+        return "-"
+    return format_bytes(value)
+
+
+def _memory_rows(events: Iterable[dict]) -> list[list[str]]:
+    """One row per ``memory`` event (per-segment learner footprint)."""
+    rows = []
+    for ev in events:
+        if ev.get("type") != "memory":
+            continue
+        budget = ev.get("budget_bytes")
+        ok = ev.get("budget_ok")
+        rows.append([
+            _fmt(ev.get("segment")),
+            _fmt_bytes(ev.get("buffer_bytes")),
+            _fmt_bytes(ev.get("model_bytes")),
+            _fmt_bytes(ev.get("total_bytes")),
+            _fmt_bytes(ev.get("peak_bytes")),
+            _fmt_bytes(budget) if budget else "-",
+            "-" if ok is None else ("ok" if ok else "OVER"),
+        ])
     return rows
 
 
@@ -218,66 +245,72 @@ def _worker_counter_rows(events: list[dict]) -> list[list[str]]:
     return [[name, _fmt(value, digits=0)] for name, value in sorted(totals.items())]
 
 
-def summarize_events(events: list[dict[str, Any]]) -> str:
-    """Render the trace as the standard three report tables."""
-    sections = []
+#: (key, title, headers, row builder) — the single source both the rendered
+#: and the ``--json`` summaries are assembled from.
+_TABLE_SPECS = (
+    ("segments", "Segments",
+     ["segment", "active", "kept/total", "kept-acc", "vote-margin",
+      "match-loss", "disc-loss", "alpha", "drift-L2", "retrain"],
+     _segment_rows),
+    ("spans", "Span timings",
+     ["span", "count", "total-ms", "mean-ms", "max-ms"], _span_rows),
+    ("memory", "Memory footprint (per segment)",
+     ["segment", "buffer", "model", "total", "peak", "budget", "status"],
+     _memory_rows),
+    ("sweep_tasks", "Sweep tasks",
+     ["#", "method", "config", "pid", "seconds", "status"], _sweep_rows),
+    ("sweep_workers", "Sweep workers",
+     ["worker pid", "busy-s", "wall-s", "utilization"], _sweep_worker_rows),
+    ("worker_shards", "Worker telemetry (merged shards)",
+     ["worker pid", "tasks", "events", "span-total-ms"], _worker_shard_rows),
+    ("config_shards", "Per-config telemetry",
+     ["config", "point", "worker", "events", "span-total-ms"],
+     _config_shard_rows),
+    ("worker_counters", "Worker counters (aggregated)",
+     ["counter", "total"], _worker_counter_rows),
+    ("counters", "Runtime counters", ["counter", "value"], _counter_rows),
+)
 
-    seg_rows = _segment_rows(events)
-    if seg_rows:
-        sections.append(_format_table(
-            ["segment", "active", "kept/total", "kept-acc", "vote-margin",
-             "match-loss", "disc-loss", "alpha", "drift-L2", "retrain"],
-            seg_rows, title="Segments"))
-    else:
-        sections.append("Segments\n(no segment events in trace)")
 
-    span_rows = _span_rows(events)
-    if span_rows:
-        sections.append(_format_table(
-            ["span", "count", "total-ms", "mean-ms", "max-ms"],
-            span_rows, title="Span timings"))
+def summarize_events_data(events: list[dict[str, Any]]) -> dict[str, Any]:
+    """The summary as one JSON-ready document mirroring the rendered tables.
 
-    sweep_rows = _sweep_rows(events)
-    if sweep_rows:
-        sections.append(_format_table(
-            ["#", "method", "config", "pid", "seconds", "status"],
-            sweep_rows, title="Sweep tasks"))
-    worker_rows = _sweep_worker_rows(events)
-    if worker_rows:
-        sections.append(_format_table(
-            ["worker pid", "busy-s", "wall-s", "utilization"],
-            worker_rows, title="Sweep workers"))
-
-    shard_worker_rows = _worker_shard_rows(events)
-    if shard_worker_rows:
-        sections.append(_format_table(
-            ["worker pid", "tasks", "events", "span-total-ms"],
-            shard_worker_rows, title="Worker telemetry (merged shards)"))
-    config_rows = _config_shard_rows(events)
-    if config_rows:
-        sections.append(_format_table(
-            ["config", "point", "worker", "events", "span-total-ms"],
-            config_rows, title="Per-config telemetry"))
-    worker_counter_rows = _worker_counter_rows(events)
-    if worker_counter_rows:
-        sections.append(_format_table(
-            ["counter", "total"], worker_counter_rows,
-            title="Worker counters (aggregated)"))
-
-    counter_rows = _counter_rows(events)
-    if counter_rows:
-        sections.append(_format_table(["counter", "value"], counter_rows,
-                                     title="Runtime counters"))
-
+    Stable shape for external dashboards: ``{"events": N, "command": ...,
+    "tables": {key: {"title", "headers", "rows"}}}`` where ``rows`` hold
+    the same (string) cells the ASCII tables render.  Empty tables are
+    omitted, as in the text form.
+    """
     meta = next((ev for ev in events if ev.get("type") == "run_start"), None)
-    header = []
-    if meta is not None:
-        cmd = meta.get("command", "?")
-        header.append(f"telemetry trace: command={cmd} "
-                      f"({len(events)} events)")
+    tables: dict[str, Any] = {}
+    for key, title, headers, builder in _TABLE_SPECS:
+        rows = builder(events)
+        if rows:
+            tables[key] = {"title": title, "headers": headers, "rows": rows}
+    return {
+        "events": len(events),
+        "command": None if meta is None else meta.get("command"),
+        "tables": tables,
+    }
+
+
+def summarize_events(events: list[dict[str, Any]]) -> str:
+    """Render the trace as the standard report tables."""
+    data = summarize_events_data(events)
+    sections = []
+    for key, title, headers, _ in _TABLE_SPECS:
+        table = data["tables"].get(key)
+        if table is not None:
+            sections.append(_format_table(headers, table["rows"], title=title))
+        elif key == "segments":
+            sections.append("Segments\n(no segment events in trace)")
+
+    command = data["command"]
+    if command is not None:
+        header = (f"telemetry trace: command={command} "
+                  f"({len(events)} events)")
     else:
-        header.append(f"telemetry trace: {len(events)} events")
-    return "\n\n".join(header + sections)
+        header = f"telemetry trace: {len(events)} events"
+    return "\n\n".join([header] + sections)
 
 
 def summarize_trace(path: str | pathlib.Path) -> str:
@@ -288,3 +321,11 @@ def summarize_trace(path: str | pathlib.Path) -> str:
         text += (f"\n\n({skipped} malformed line(s) skipped — truncated "
                  f"tail of a killed writer)")
     return text
+
+
+def summarize_trace_json(path: str | pathlib.Path) -> dict[str, Any]:
+    """Load a trace file/run directory and return the JSON summary document."""
+    events, skipped = load_events_with_stats(path)
+    data = summarize_events_data(events)
+    data["skipped_lines"] = skipped
+    return data

@@ -24,6 +24,7 @@ import contextlib
 import time
 from typing import Any
 
+from .memory import DISK_ACCOUNT_PREFIX, default_ledger
 from .sinks import EventSink, JsonlSink
 
 __all__ = [
@@ -63,7 +64,7 @@ _NOOP_SPAN = _NoopSpan()
 class _Span:
     """A live, nestable timer: records a histogram sample and sink event."""
 
-    __slots__ = ("_registry", "name", "fields", "_t0", "depth")
+    __slots__ = ("_registry", "name", "fields", "_t0", "depth", "_mem0")
 
     def __init__(self, registry: "Telemetry", name: str,
                  fields: dict[str, Any] | None) -> None:
@@ -72,21 +73,27 @@ class _Span:
         self.fields = fields
         self.depth = 0
         self._t0 = 0.0
+        self._mem0 = 0
 
     def __enter__(self) -> "_Span":
         reg = self._registry
         self.depth = reg._depth
         reg._depth += 1
+        # Plain int read (no provider pulls): cheap enough for every span.
+        self._mem0 = default_ledger.ram_recorded_bytes
         self._t0 = time.perf_counter()
         return self
 
     def __exit__(self, *exc) -> bool:
         elapsed = time.perf_counter() - self._t0
+        mem_delta = default_ledger.ram_recorded_bytes - self._mem0
         reg = self._registry
         reg._depth -= 1
         reg.observe(f"span.{self.name}", elapsed)
         record = {"type": "span", "name": self.name,
                   "dur_s": elapsed, "depth": self.depth}
+        if mem_delta:
+            record["mem_delta_bytes"] = mem_delta
         if self.fields:
             record.update(self.fields)
         reg.event_record(record)
@@ -298,6 +305,14 @@ def collect_runtime_counters(registry: Telemetry | None = None, *,
     from ..condensation.matching import fd_fuse_stats  # local import, as above
     for key, val in fd_fuse_stats().items():
         values[f"fd.{key}"] = float(val)
+    mem_totals = default_ledger.totals()
+    for account, nbytes in mem_totals.items():
+        values[f"memory.{account}_bytes"] = float(nbytes)
+    values["memory.tracked_bytes"] = float(sum(
+        v for a, v in mem_totals.items()
+        if not a.startswith(DISK_ACCOUNT_PREFIX)))
+    values["memory.high_water_bytes"] = float(default_ledger.high_water_bytes)
+    values["memory.rss_bytes"] = float(default_ledger.rss_bytes())
     if registry.enabled:
         for name, value in values.items():
             registry.gauge(name, value)

@@ -168,6 +168,8 @@ class SharedArrayPack:
             view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf,
                               offset=off)
             view[...] = arr
+        from ..obs.memory import default_ledger
+        default_ledger.record("shm.pack", shm.name, shm.size)
         return cls(shm, manifest, owner=True)
 
     def spec(self) -> dict:
@@ -208,6 +210,9 @@ class SharedArrayPack:
         """Detach; the owning side also unlinks the block."""
         if unlink is None:
             unlink = self._owner
+        if self._owner:
+            from ..obs.memory import default_ledger
+            default_ledger.drop("shm.pack", self._shm.name)
         try:
             self._shm.close()
         except BufferError:  # live views outstanding; OS cleanup still works

@@ -174,7 +174,8 @@ def write_checkpoint(path: str | os.PathLike, *, kind: str,
 
     payload = io.BytesIO()
     np.savez_compressed(payload, **arrays)
-    _atomic_write_bytes(base.with_suffix(_ARRAYS_SUFFIX), payload.getvalue())
+    npz_bytes = payload.getvalue()
+    _atomic_write_bytes(base.with_suffix(_ARRAYS_SUFFIX), npz_bytes)
 
     manifest = {
         "schema": SCHEMA_VERSION,
@@ -185,8 +186,13 @@ def write_checkpoint(path: str | os.PathLike, *, kind: str,
         "meta": json_sanitize(meta or {}),
     }
     # Manifest second: its presence commits the checkpoint.
-    _atomic_write_bytes(base.with_suffix(_MANIFEST_SUFFIX),
-                        json.dumps(manifest, indent=1).encode())
+    manifest_bytes = json.dumps(manifest, indent=1).encode()
+    _atomic_write_bytes(base.with_suffix(_MANIFEST_SUFFIX), manifest_bytes)
+    # Disk-side ledger account: bytes this process has checkpointed, keyed
+    # by base path so rewrites update in place rather than accumulate.
+    from ..obs.memory import default_ledger
+    default_ledger.record("disk.checkpoints", str(base),
+                          len(npz_bytes) + len(manifest_bytes))
     return base
 
 

@@ -212,3 +212,84 @@ def test_deco_learner_run_bit_identical_fused_vs_unfused():
     assert _fingerprint(unfused) == _fingerprint(fused)
     # Fusing must actually have engaged — fewer passes, same results.
     assert fused.condense_passes < unfused.condense_passes
+
+
+# ----------------------------------------------------------------------
+# Telemetry-quiet verification (observability contract)
+# ----------------------------------------------------------------------
+def _fd_sweep_worker(config, context, arrays):
+    """Sweep task: trigger one fresh fused-FD verification, count via obs."""
+    from repro import obs as _obs  # picklable module-level worker
+
+    kernels.set_fast_kernels(True)
+    kernels.set_fd_fuse(True)
+    matching.clear_fd_fuse_verdicts()
+    model, x, y, direction = _fd_case((1, 8, 8), 3, 4, 2, 6,
+                                      seed=config["seed"])
+    stats: dict = {}
+    matching.finite_difference_matching_grad(model, x, y, direction,
+                                             stats_out=stats)
+    _obs.counter("task.calls")
+    return bool(stats["fused"])
+
+
+class TestTelemetryQuietVerification:
+    def test_reference_run_emits_no_spans_or_counters(self):
+        # The sequential reference inside the first-use verification is
+        # probe work: it must not appear in the telemetry stream, so
+        # serial and worker runs keep counter parity.
+        from repro import obs
+
+        model, x, y, direction = _fd_case((1, 8, 8), 3, 4, 2, 6)
+        kernels.set_fd_fuse(True)
+        registry = obs.Telemetry()
+        sink = obs.ListSink()
+        registry.enable(sink)
+        with obs.scoped_telemetry(registry):
+            stats: dict = {}
+            matching.finite_difference_matching_grad(model, x, y, direction,
+                                                     stats_out=stats)
+        assert stats == {"passes": 1, "fused": True}
+        assert matching.fd_fuse_stats()["verifications"] == 1
+
+        span_names = {r["name"] for r in sink.records
+                      if r.get("type") == "span"}
+        assert "pass.fd_fused" in span_names
+        # The reference's ±ε passes ran (the verdict required them) but
+        # stayed silent.
+        assert "pass.fd_plus" not in span_names
+        assert "pass.fd_minus" not in span_names
+        counters = registry.snapshot()["counters"]
+        assert counters.get("fd.fused_dispatches") == 1
+        assert "fd.serial_fallbacks" not in counters
+
+    def test_fd_counter_parity_jobs1_vs_jobs2(self, tmp_path):
+        from repro import obs
+        from repro.obs import aggregate_worker_counters
+        from repro.obs.export import WORKERS_FILENAME
+        from repro.obs.sinks import read_jsonl_tolerant
+        from repro.parallel import run_sweep
+
+        configs = [{"seed": 0}, {"seed": 1}]
+
+        registry = obs.Telemetry()
+        registry.enable()
+        with obs.scoped_telemetry(registry):
+            serial_ok = [o.result for o in
+                         run_sweep(_fd_sweep_worker, configs, jobs=1)]
+        serial = {name: value
+                  for name, value in registry.snapshot()["counters"].items()
+                  if name.startswith("fd.")}
+        assert serial_ok == [True, True]
+        assert serial.get("fd.fused_dispatches") == 2.0
+        assert "fd.serial_fallbacks" not in serial
+
+        outcomes = run_sweep(_fd_sweep_worker, configs, jobs=2,
+                             telemetry_dir=tmp_path)
+        assert [o.result for o in outcomes] == serial_ok
+        records, skipped = read_jsonl_tolerant(tmp_path / WORKERS_FILENAME)
+        assert skipped == 0
+        totals = {name: value
+                  for name, value in aggregate_worker_counters(records).items()
+                  if name.startswith("fd.")}
+        assert totals == serial

@@ -171,3 +171,32 @@ class TestMetricsAndFormat:
     def test_empty_report_mentions_missing_history(self):
         text = format_regress_report(compare_history([]))
         assert "no bench history yet" in text
+
+
+class TestByteMetrics:
+    def test_condense_step_byte_gauges_extracted(self):
+        data = {"condense_step": {"fast_s": 2.0,
+                                  "peak_traced_bytes": 1048576,
+                                  "arena_high_water_bytes": 2097152}}
+        assert metrics_from_snapshot(data) == {
+            "condense_step": 2.0,
+            "condense_step/peak_traced_bytes": 1048576.0,
+            "condense_step/arena_high_water_bytes": 2097152.0,
+        }
+
+    def test_report_renders_bytes_human_readably(self):
+        entries = [
+            {"tags": {}, "metrics": {
+                "condense_step": 1.0,
+                "condense_step/peak_traced_bytes": 1048576.0}},
+            {"tags": {}, "metrics": {
+                "condense_step": 1.0,
+                "condense_step/peak_traced_bytes": 2 * 1048576.0}},
+        ]
+        report = compare_history(entries)
+        text = format_regress_report(report)
+        assert "1000.00ms" in text          # timings stay milliseconds
+        assert "2.0MiB" in text and "1.0MiB" in text
+        # Byte gauges are judged by the same threshold rule as timings.
+        assert any(d.name.endswith("peak_traced_bytes")
+                   and d.verdict == "regression" for d in report.deltas)

@@ -78,3 +78,71 @@ class TestLoadEvents:
         sink.close()
         text = summarize_trace(tmp_path)
         assert "Segments" in text and "Runtime counters" in text
+
+
+MEMORY_EVENT = {
+    "type": "memory", "segment": 0, "buffer_bytes": 12288,
+    "model_bytes": 4096, "total_bytes": 16384, "peak_bytes": 20480,
+    "budget_bytes": 8 * 2 ** 20, "budget_ok": True,
+}
+
+
+class TestMemoryTable:
+    def test_memory_rows_render_human_bytes(self):
+        over = dict(MEMORY_EVENT, segment=1, total_bytes=9 * 2 ** 20,
+                    budget_ok=False)
+        text = summarize_events(_events() + [MEMORY_EVENT, over])
+        assert "Memory footprint (per segment)" in text
+        row = next(line for line in text.splitlines()
+                   if line.startswith("0 ") and "KiB" in line)
+        assert "12.0KiB" in row and "4.0KiB" in row and "16.0KiB" in row
+        assert "8.0MiB" in row and row.rstrip().endswith("ok")
+        assert "OVER" in text
+
+    def test_no_memory_events_no_table(self):
+        assert "Memory footprint" not in summarize_events(_events())
+
+
+class TestSummarizeJson:
+    def test_document_shape_matches_rendered_tables(self):
+        import json as json_mod
+
+        from repro.obs import summarize_events_data
+
+        data = summarize_events_data(_events() + [MEMORY_EVENT])
+        assert data["command"] == "run"
+        assert data["events"] == len(_events()) + 1
+        for key in ("segments", "spans", "memory", "counters"):
+            table = data["tables"][key]
+            assert len(table["headers"]) == len(table["rows"][0])
+        assert data["tables"]["memory"]["rows"][0][0] == "0"
+        # Empty tables are omitted, and the document is JSON-serializable.
+        assert "sweep_tasks" not in data["tables"]
+        json_mod.dumps(data)
+
+    def test_trace_json_includes_skipped_lines(self, tmp_path):
+        from repro.obs import summarize_trace_json
+
+        sink = JsonlSink.for_run_dir(tmp_path)
+        for ev in _events():
+            sink.write(ev)
+        sink.close()
+        with open(tmp_path / TRACE_FILENAME, "a", encoding="utf-8") as fh:
+            fh.write('{"type": "segment", "trunc')
+        data = summarize_trace_json(tmp_path)
+        assert data["skipped_lines"] == 1
+        assert "segments" in data["tables"]
+
+    def test_cli_obs_summarize_json(self, tmp_path, capsys):
+        import json as json_mod
+
+        from repro.cli import main
+
+        sink = JsonlSink.for_run_dir(tmp_path)
+        for ev in _events():
+            sink.write(ev)
+        sink.close()
+        assert main(["obs", "summarize", str(tmp_path), "--json"]) == 0
+        data = json_mod.loads(capsys.readouterr().out)
+        assert data["command"] == "run"
+        assert "segments" in data["tables"]

@@ -147,3 +147,40 @@ class TestRuntimeCounters:
         values = obs.collect_runtime_counters()
         assert "plan_cache.size" in values
         assert obs.get_telemetry().gauges == {}
+
+
+class TestJsonlSinkAtexit:
+    def test_buffered_records_flushed_on_interpreter_exit(self, tmp_path):
+        # Regression: a run that exits without calling shutdown() used to
+        # lose every record still buffered in the JSONL sink (flush_every
+        # defaults to 64).  The sink now registers an atexit flush.
+        import subprocess
+        import sys
+
+        script = (
+            "import sys\n"
+            "from repro.obs.sinks import JsonlSink\n"
+            "from repro.obs.telemetry import Telemetry\n"
+            "t = Telemetry()\n"
+            "t.enable(JsonlSink.for_run_dir(sys.argv[1]))\n"
+            "for i in range(5):\n"
+            "    t.event('ping', index=i)\n"
+            "# exit WITHOUT shutdown/close: atexit must flush the buffer\n"
+        )
+        proc = subprocess.run([sys.executable, "-c", script, str(tmp_path)],
+                              capture_output=True, text=True, timeout=120)
+        assert proc.returncode == 0, proc.stderr
+        from repro.obs import load_events
+        pings = [ev for ev in load_events(tmp_path)
+                 if ev.get("type") == "ping"]
+        assert [ev["index"] for ev in pings] == [0, 1, 2, 3, 4]
+
+    def test_close_unregisters_atexit_hook(self, tmp_path):
+        # Closing twice (explicitly, then via atexit) must not raise or
+        # duplicate records.
+        sink = JsonlSink.for_run_dir(tmp_path)
+        sink.write({"type": "ping", "index": 0})
+        sink.close()
+        sink.close()  # idempotent
+        from repro.obs import load_events
+        assert len(load_events(tmp_path)) == 1

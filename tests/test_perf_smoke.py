@@ -122,6 +122,49 @@ def test_telemetry_overhead_on_condense_segment_is_small():
         f"disabled {disabled * 1e3:.1f}ms")
 
 
+@pytest.mark.perf_smoke
+def test_ledger_tracking_overhead_is_small():
+    """Memory-ledger accounting must be invisible on the hot path: with
+    telemetry disabled, a condense segment (including tracked buffer
+    construction) under ``tracking=True`` must stay within ~5% of the same
+    segment with the ledger switched off (plus the usual absolute noise
+    allowance for this sub-100ms workload).
+    """
+    from repro.obs.memory import default_ledger
+
+    rng = np.random.default_rng(0)
+    images = rng.standard_normal((3 * 2, 3, 8, 8)).astype(np.float32)
+    real_x = rng.standard_normal((24, 3, 8, 8)).astype(np.float32)
+    real_y = rng.integers(0, 3, 24)
+    matcher = OneStepMatcher(iterations=4, alpha=0.1, batch_size=16)
+    factory = lambda r: ConvNet(3, 3, 8, width=8, depth=2, rng=r)
+    deployed = ConvNet(3, 3, 8, width=8, depth=2, rng=np.random.default_rng(5))
+
+    def segment():
+        buf = SyntheticBuffer(3, 2, (3, 8, 8))  # record + finalizer drop
+        buf.images[:] = images
+        matcher.condense(buf, [0, 1, 2], real_x, real_y, None,
+                         model_factory=factory,
+                         rng=np.random.default_rng(1),
+                         deployed_model=deployed)
+
+    obs.shutdown()
+    segment()  # warm up plans / arena before either timed mode
+    tracked_times, untracked_times = [], []
+    try:
+        for _ in range(5):  # interleave so drift hits both modes equally
+            default_ledger.tracking = False
+            untracked_times.append(_timed(segment))
+            default_ledger.tracking = True
+            tracked_times.append(_timed(segment))
+    finally:
+        default_ledger.tracking = True
+    tracked, untracked = min(tracked_times), min(untracked_times)
+    assert tracked <= untracked * 1.05 + 0.010, (
+        f"ledger tracking overhead too high: tracked {tracked * 1e3:.1f}ms "
+        f"vs untracked {untracked * 1e3:.1f}ms")
+
+
 def _condense_segment(batch=128, image=16, width=32):
     """A condense-sized workload big enough for the shard threshold."""
     rng = np.random.default_rng(0)
