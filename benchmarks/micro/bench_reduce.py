@@ -1,0 +1,154 @@
+"""Micro-benchmarks: deterministic tree reductions vs the serial path.
+
+Times the batch reductions that :mod:`repro.parallel.tree_reduce` can take
+over — the conv weight/bias gradients, the instance-norm parameter sums and
+statistics, and the NLL loss sum — serial vs tree-reduced at a forced shard
+count, interleaving the two timings so scheduler drift hits both equally.
+Each case also records whether the tree path reproduces the serial bytes on
+this machine ("engaged"): shapes whose serial reduction order the fixed tree
+cannot replicate fall back in production, and their tree timing here only
+documents the dispatch overhead.
+
+On a single-core container the speedups hover around 1.0x (the honest
+number); the determinism suite, not this benchmark, is the enforced
+guarantee.  Results merge into ``bench_results/micro_kernels.json`` under
+the ``reduce`` section and append to the bench history consumed by
+``python -m repro obs regress``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/micro/bench_reduce.py \
+        [--repeats N] [--shards K]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import time
+
+import numpy as np
+
+from bench_kernels import merge_results
+from repro.parallel import intra_op, tree_reduce
+
+# Learner-test scale: batch 256, ConvNet width 16, 8x8 feature maps.
+N, OC, CKK, L = 256, 16, 144, 64
+
+
+def interleaved_best(serial_fn, tree_fn, repeats: int) -> tuple[float, float]:
+    """Best-of-N for both paths, measurements interleaved A/B/A/B."""
+    serial_fn(); tree_fn()  # warm up pools, plans, arena buffers
+    best_serial = best_tree = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        serial_fn()
+        best_serial = min(best_serial, time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        tree_fn()
+        best_tree = min(best_tree, time.perf_counter() - t0)
+    return best_serial, best_tree
+
+
+def _tree(partial_into, shape, bounds, order=None):
+    return tree_reduce.tree_reduce(partial_into, shape, np.float32, bounds,
+                                   label="bench", order=order)
+
+
+def make_cases(rng: np.random.Generator, shards: int) -> dict:
+    """Each case: (serial_fn, tree_fn) returning the reduced array."""
+    gflat = rng.standard_normal((N, OC, L)).astype(np.float32)
+    cols = rng.standard_normal((N, CKK, L)).astype(np.float32)
+    x = rng.standard_normal((N, OC, 8, 8)).astype(np.float32)
+    xhat = rng.standard_normal((N, OC, 8, 8)).astype(np.float32)
+    losses = rng.standard_normal(2 * N).astype(np.float32)
+    b_dw = intra_op.even_bounds(N, shards)
+    b_loss = intra_op.even_bounds(losses.shape[0], shards)
+
+    def dw_serial():
+        return np.einsum("nol,nkl->ok", gflat, cols)
+
+    def dw_tree():
+        return _tree(lambda a, b, out: np.einsum(
+            "nol,nkl->ok", gflat[a:b], cols[a:b], out=out),
+            (OC, CKK), b_dw)
+
+    def db_serial():
+        return gflat.sum(axis=(0, 2))
+
+    def db_tree():
+        return _tree(lambda a, b, out: np.sum(gflat[a:b], axis=(0, 2),
+                                              out=out), (OC,), b_dw)
+
+    def dbeta_serial():
+        return x.sum(axis=(0, 2, 3))
+
+    def dbeta_tree():
+        return _tree(lambda a, b, out: np.sum(x[a:b], axis=(0, 2, 3),
+                                              out=out), (OC,), b_dw)
+
+    def dgamma_serial():
+        return (x * xhat).sum(axis=(0, 2, 3))
+
+    def dgamma_tree():
+        return _tree(lambda a, b, out: np.sum(x[a:b] * xhat[a:b],
+                                              axis=(0, 2, 3), out=out),
+                     (OC,), b_dw)
+
+    def loss_serial():
+        return np.asarray(losses.sum())
+
+    def loss_tree():
+        return _tree(lambda a, b, out: np.sum(losses[a:b], out=out),
+                     (), b_loss)
+
+    return {"conv_dw": (dw_serial, dw_tree),
+            "conv_db": (db_serial, db_tree),
+            "norm_dbeta": (dbeta_serial, dbeta_tree),
+            "norm_dgamma": (dgamma_serial, dgamma_tree),
+            "loss_sum": (loss_serial, loss_tree)}
+
+
+def bench(repeats: int, shards: int) -> dict:
+    cases: dict = {}
+    for name, (serial_fn, tree_fn) in make_cases(
+            np.random.default_rng(0), shards).items():
+        # "engaged" mirrors the production probe on this exact data: does
+        # the fixed tree reproduce the serial reduction bytes?
+        engaged = bool(np.asarray(serial_fn()).tobytes()
+                       == np.asarray(tree_fn()).tobytes())
+        serial_s, tree_s = interleaved_best(serial_fn, tree_fn, repeats)
+        cases[name] = {"serial_s": serial_s, "tree_s": tree_s,
+                       "speedup": serial_s / tree_s if tree_s else 0.0,
+                       "engaged": engaged}
+    return cases
+
+
+def main(argv=None) -> dict:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument("--shards", type=int, default=4,
+                        help="shard count for the tree path")
+    args = parser.parse_args(argv)
+
+    saved = intra_op.get_num_threads()
+    intra_op.set_num_threads(max(args.shards, saved))
+    try:
+        cases = bench(args.repeats, args.shards)
+    finally:
+        intra_op.set_num_threads(saved)
+        intra_op.reset_stats()
+        tree_reduce.reset_stats()
+
+    payload = {"cpu_count": os.cpu_count(), "shards": args.shards,
+               "cases": cases}
+    merge_results("reduce", payload)
+    for name, row in cases.items():
+        print(f"{name:12s} serial {row['serial_s']*1e6:9.1f}us  "
+              f"tree {row['tree_s']*1e6:9.1f}us  "
+              f"{row['speedup']:.2f}x  engaged={row['engaged']}")
+    return payload
+
+
+if __name__ == "__main__":
+    main()

@@ -22,11 +22,19 @@ equivalent for this repo.  It runs, in order:
    ledger byte accounts must agree with tracemalloc within tolerance,
    jobs=2 memory footprints must equal serial, and exported Chrome traces
    must pass schema validation with memory counter tracks;
-8. a one-repeat pass of the micro-benchmarks (kernel cases, one condense
-   segment, the fused-FD comparison, and the parallel scaling matrix),
-   which also refreshes the counter snapshots attached to
-   ``bench_results/micro_kernels.json`` and appends to the bench history;
-9. a bench-history regression dry-run (``python -m repro obs regress
+8. the tree-reduction selfcheck
+   (``python -m repro.parallel.reduce_selfcheck``): the batch-reduced
+   gradients, norm statistics, and loss sums must be byte-identical at
+   threads=1 vs threads=4 on the learner-test shapes (engaging the tree
+   where the probes admit it, falling back honestly where they don't),
+   and a micro DECO learner segment must reproduce its serial
+   fingerprint;
+9. a one-repeat pass of the micro-benchmarks (kernel cases, one condense
+   segment, the fused-FD comparison, the parallel scaling matrix, and the
+   serial-vs-tree reduction comparison), which also refreshes the counter
+   snapshots attached to ``bench_results/micro_kernels.json`` and appends
+   to the bench history;
+10. a bench-history regression dry-run (``python -m repro obs regress
    --dry-run``): the trajectory verdict is printed; regressions are
    reported but only fail ``repro-check`` when ``--strict-bench`` is set.
 
@@ -131,6 +139,13 @@ def main(argv: list[str] | None = None) -> int:
         failures += _run([sys.executable, "-m",
                           "repro.obs.ledger_selfcheck"],
                          root, "memory ledger + trace export selfcheck") != 0
+        # Reduction leg: tree-reduced gradients/statistics must be
+        # byte-identical to the serial reductions at every thread count,
+        # with honest fallback accounting (see
+        # repro.parallel.reduce_selfcheck).
+        failures += _run([sys.executable, "-m",
+                          "repro.parallel.reduce_selfcheck"],
+                         root, "deterministic reduction selfcheck") != 0
 
     if not args.skip_bench:
         bench_dir = root / "benchmarks" / "micro"
@@ -152,6 +167,10 @@ def main(argv: list[str] | None = None) -> int:
                               str(bench_dir / "bench_parallel.py"),
                               "--repeats", repeats], root,
                              "micro-bench parallel scaling") != 0
+            failures += _run([sys.executable,
+                              str(bench_dir / "bench_reduce.py"),
+                              "--repeats", repeats], root,
+                             "micro-bench tree reductions") != 0
             # Trajectory verdict over the history the benches just
             # appended to.  A one-repeat smoke pass is noisy, so the
             # default is a dry run — visible, never fatal — unless the

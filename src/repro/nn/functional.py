@@ -19,7 +19,7 @@ from __future__ import annotations
 import numpy as np
 
 from . import kernels, reference
-from ..parallel import intra_op
+from ..parallel import intra_op, tree_reduce
 from .tensor import Tensor
 from .workspace import default_arena, default_step_cache
 
@@ -84,7 +84,7 @@ def conv2d(x: Tensor, weight: Tensor, bias: Tensor | None = None, *,
     w2 = weight.data.reshape(oc, -1)                 # (OC, CKK)
     bounds = intra_op.shard_bounds(n)
     if bounds is not None and not plan.shard_safe(oc, ckk, len(bounds)):
-        intra_op.note_serial_fallback()
+        intra_op.note_serial_fallback("probe")
         bounds = None
     # A StepCache scope (opened by the condense loop around the Eq. 7
     # passes) serves the same input array's columns to every conv over it;
@@ -136,18 +136,44 @@ def conv2d(x: Tensor, weight: Tensor, bias: Tensor | None = None, *,
 
     def backward(g: np.ndarray) -> None:
         gflat = g.reshape(n, oc, plan.oh * plan.ow)
-        if bias is not None and bias.requires_grad:
-            bias._accumulate(gflat.sum(axis=(0, 2)), own=True)
-        if weight.requires_grad:
-            dw = np.einsum("nol,nkl->ok", gflat, cols,
-                           optimize=plan.dw_path(gflat, cols))
+        need_db = bias is not None and bias.requires_grad
+        need_dw = weight.requires_grad
+        red = intra_op.shard_bounds(n) if (need_db or need_dw) else None
+        rinfo = (plan.reduce_safe(oc, ckk, len(red), gflat.strides)
+                 if red is not None and gflat.dtype == np.float32 else None)
+        if need_db:
+            if rinfo is not None and rinfo["db"]:
+                db = tree_reduce.tree_reduce(
+                    lambda a, b, out: np.sum(gflat[a:b], axis=(0, 2),
+                                             out=out),
+                    (oc,), np.float32, red, label="conv2d.db")
+            else:
+                if red is not None:
+                    tree_reduce.note_reduce_fallback()
+                db = gflat.sum(axis=(0, 2))
+            bias._accumulate(db, own=True)
+        if need_dw:
+            dpath = plan.dw_path(gflat, cols)
+            if rinfo is not None and rinfo["dw"]:
+                dw = tree_reduce.tree_reduce(
+                    lambda a, b, out: np.einsum(
+                        "nol,nkl->ok", gflat[a:b], cols[a:b], out=out,
+                        optimize=dpath),
+                    (oc, c * kh * kw), np.float32, red,
+                    label="conv2d.dw", order=rinfo["dw_order"])
+            else:
+                if red is not None:
+                    tree_reduce.note_reduce_fallback()
+                dw = np.einsum("nol,nkl->ok", gflat, cols, optimize=dpath)
             weight._accumulate(_f32(dw).reshape(weight.shape), own=True)
         if x.requires_grad:
             bwd_bounds = intra_op.shard_bounds(n)
-            if bwd_bounds is not None and not (
-                    kernels.scatter_mode() == "slices"
-                    and plan.shard_safe(oc, ckk, len(bwd_bounds))):
-                intra_op.note_serial_fallback()
+            if bwd_bounds is not None and kernels.scatter_mode() != "slices":
+                intra_op.note_serial_fallback("caller")
+                bwd_bounds = None
+            if bwd_bounds is not None and not plan.shard_safe(
+                    oc, ckk, len(bwd_bounds)):
+                intra_op.note_serial_fallback("probe")
                 bwd_bounds = None
             if bwd_bounds is None:
                 dcols = np.einsum("ok,nol->nkl", w2, gflat,
@@ -252,7 +278,23 @@ def _lane_bwd_dx(plan, plan2, info, weights, g, lanes, n, oc):
             else:
                 np.einsum("ok,nol->nkl", w2, gflat, out=slot,
                           optimize=plan.dcols_path(w2, gflat))
-        dx2 = kernels.col2im(dcols2, plan2)
+        bounds = intra_op.shard_bounds(nt)
+        if bounds is not None and kernels.scatter_mode() != "slices":
+            intra_op.note_serial_fallback("caller")
+            bounds = None
+        if bounds is None:
+            dx2 = kernels.col2im(dcols2, plan2)
+        else:
+            # The slice-table scatter never touches the batch axis, so
+            # disjoint batch spans compose to exactly the serial col2im
+            # (see kernels.col2im_add); the zeroed canvas matches the
+            # serial one byte-for-byte.
+            dx2 = np.zeros((nt, plan.c, plan.h, plan.w), dtype=np.float32)
+
+            def scatter_shard(a: int, b: int) -> None:
+                kernels.col2im_add(dcols2, plan2, dx2, a, b)
+
+            intra_op.run_sharded(scatter_shard, bounds)
         default_arena.release(dcols2)
         return dx2
     dx2 = np.empty((nt, plan.c, plan.h, plan.w), dtype=np.float32)
@@ -387,7 +429,7 @@ def instance_norm2d_lanes(x: np.ndarray, gammas, betas, eps: float = 1e-5):
     lane_ctx = []
     out = None
     for t in range(lanes):
-        xhat, var = _norm_stats(xd[t * n:(t + 1) * n], axes)
+        xhat, var = _instance_norm_stats(xd[t * n:(t + 1) * n])
         inv_std = 1.0 / np.sqrt(var + np.float32(eps))
         xhat *= inv_std
         if out is None:
@@ -428,8 +470,8 @@ def instance_norm2d_lanes(x: np.ndarray, gammas, betas, eps: float = 1e-5):
         for t, (xhat, inv_std, gamma_r) in enumerate(lane_ctx):
             gl = g[t * n:(t + 1) * n]
             gy = gl * gamma_r if gamma_r is not None else gl
-            _norm_backward_into(gy, xhat, inv_std, axes,
-                                dx[t * n:(t + 1) * n])
+            _instance_norm_backward_into(gy, xhat, inv_std,
+                                         dx[t * n:(t + 1) * n])
         return dx
 
     return out, backward
@@ -571,6 +613,119 @@ def _norm_stats(x2d: np.ndarray, axes):
     return xc, var
 
 
+def _tree_batch_sum(arr: np.ndarray, axes, label: str,
+                    mul: np.ndarray | None = None) -> np.ndarray | None:
+    """Tree-reduced ``arr.sum(axis=axes)`` / ``(arr * mul).sum(axis=axes)``.
+
+    Returns None when the batch is below the shard threshold, a single
+    thread is configured, or the :func:`~repro.nn.kernels.tree_sum_safe`
+    probe declined the shape (counted via ``parallel.reduce.fallbacks``);
+    the caller then runs the serial reduction, byte-unchanged.
+    """
+    bounds = intra_op.shard_bounds(arr.shape[0])
+    if bounds is None:
+        return None
+    if not kernels.tree_sum_safe(arr, axes, len(bounds), mul):
+        tree_reduce.note_reduce_fallback()
+        return None
+    shape = tuple(s for i, s in enumerate(arr.shape) if i not in axes)
+    if mul is None:
+        def partial(a, b, out):
+            np.sum(arr[a:b], axis=axes, out=out)
+    else:
+        def partial(a, b, out):
+            np.sum(arr[a:b] * mul[a:b], axis=axes, out=out)
+    return tree_reduce.tree_reduce(partial, shape, np.float32, bounds,
+                                   label=label)
+
+
+def _norm_param_grads(g, xhat, beta, gamma, label: str) -> None:
+    """Accumulate dbeta/dgamma for a norm op, tree-reducing when probed
+    safe (the serial sums are the exact pre-engine code paths)."""
+    if beta is not None and beta.requires_grad:
+        db = _tree_batch_sum(g, (0, 2, 3), f"{label}.dbeta")
+        beta._accumulate(db if db is not None
+                         else _f32(g.sum(axis=(0, 2, 3))), own=True)
+    if gamma is not None and gamma.requires_grad:
+        dg = _tree_batch_sum(g, (0, 2, 3), f"{label}.dgamma", mul=xhat)
+        gamma._accumulate(dg if dg is not None
+                          else _f32((g * xhat).sum(axis=(0, 2, 3))),
+                          own=True)
+
+
+def _instance_norm_stats(xd: np.ndarray):
+    """:func:`_norm_stats` over axes (2, 3), sharded over disjoint batch
+    spans when configured and probe-proven byte-identical (per-sample
+    reductions never cross a batch boundary; the probe verifies the
+    composite ``out=`` fill reproduces the serial bytes and layout)."""
+    axes = (2, 3)
+    bounds = intra_op.shard_bounds(xd.shape[0])
+    if bounds is not None:
+        info = kernels.norm_stats_shard_safe(xd, len(bounds))
+        if not info["ok"]:
+            intra_op.note_serial_fallback("probe")
+            bounds = None
+    if bounds is None:
+        return _norm_stats(xd, axes)
+    n, c = xd.shape[0], xd.shape[1]
+    xc = kernels._ordered_empty(xd.shape, info["xc_order"])
+    var = kernels._ordered_empty((n, c, 1, 1), info["var_order"])
+
+    def stats_shard(a: int, b: int) -> None:
+        m = xd[a:b].mean(axis=axes, keepdims=True)
+        np.subtract(xd[a:b], m, out=xc[a:b])
+        sq = xc[a:b] * xc[a:b]
+        np.mean(sq, axis=axes, keepdims=True, out=var[a:b])
+
+    intra_op.run_sharded(stats_shard, bounds)
+    return xc, var
+
+
+def _instance_norm_backward(gy, xhat, inv_std) -> np.ndarray:
+    """:func:`_norm_backward` over axes (2, 3), sharded over disjoint
+    batch spans when configured and probe-proven byte-identical."""
+    axes = (2, 3)
+    bounds = intra_op.shard_bounds(gy.shape[0])
+    if bounds is not None:
+        info = kernels.norm_bwd_shard_safe(gy, xhat, inv_std, len(bounds))
+        if not info["ok"]:
+            intra_op.note_serial_fallback("probe")
+            bounds = None
+    if bounds is None:
+        return _norm_backward(gy, xhat, inv_std, axes)
+    dx = kernels._ordered_empty(gy.shape, info["dx_order"])
+
+    def bwd_shard(a: int, b: int) -> None:
+        _norm_backward_into(gy[a:b], xhat[a:b], inv_std[a:b], axes,
+                            dx[a:b])
+
+    intra_op.run_sharded(bwd_shard, bounds)
+    return dx
+
+
+def _instance_norm_backward_into(gy, xhat, inv_std, out) -> None:
+    """:func:`_norm_backward_into` over axes (2, 3), sharded over disjoint
+    batch spans when probe-proven (the destination layout cannot perturb
+    the bytes — see :func:`_norm_backward_into` — so the fresh-layout probe
+    verdict carries over to composite lane slices)."""
+    axes = (2, 3)
+    bounds = intra_op.shard_bounds(gy.shape[0])
+    if bounds is not None:
+        info = kernels.norm_bwd_shard_safe(gy, xhat, inv_std, len(bounds))
+        if not info["ok"]:
+            intra_op.note_serial_fallback("probe")
+            bounds = None
+    if bounds is None:
+        _norm_backward_into(gy, xhat, inv_std, axes, out)
+        return
+
+    def bwd_shard(a: int, b: int) -> None:
+        _norm_backward_into(gy[a:b], xhat[a:b], inv_std[a:b], axes,
+                            out[a:b])
+
+    intra_op.run_sharded(bwd_shard, bounds)
+
+
 def instance_norm2d(x: Tensor, gamma: Tensor | None = None,
                     beta: Tensor | None = None, eps: float = 1e-5) -> Tensor:
     """Instance normalization over (H, W) per sample and channel.
@@ -581,7 +736,7 @@ def instance_norm2d(x: Tensor, gamma: Tensor | None = None,
     if not kernels.fast_kernels_enabled():
         return reference.instance_norm2d(x, gamma, beta, eps=eps)
     axes = (2, 3)
-    xhat, var = _norm_stats(_f32(x.data), axes)
+    xhat, var = _instance_norm_stats(_f32(x.data))
     inv_std = 1.0 / np.sqrt(var + np.float32(eps))
     xhat *= inv_std
     c = x.shape[1]
@@ -603,13 +758,11 @@ def instance_norm2d(x: Tensor, gamma: Tensor | None = None,
         parents.append(beta)
 
     def backward(g: np.ndarray) -> None:
-        if beta is not None and beta.requires_grad:
-            beta._accumulate(_f32(g.sum(axis=(0, 2, 3))), own=True)
-        if gamma is not None and gamma.requires_grad:
-            gamma._accumulate(_f32((g * xhat).sum(axis=(0, 2, 3))), own=True)
+        _norm_param_grads(g, xhat, beta, gamma, "instance_norm")
         if x.requires_grad:
             gy = g * gamma_r if gamma_r is not None else g
-            x._accumulate(_f32(_norm_backward(gy, xhat, inv_std, axes)), own=True)
+            x._accumulate(_f32(_instance_norm_backward(gy, xhat, inv_std)),
+                          own=True)
 
     return Tensor._make(_f32(out), parents, "instance_norm2d", backward)
 
@@ -646,10 +799,7 @@ def group_norm2d(x: Tensor, num_groups: int, gamma: Tensor | None = None,
         parents.append(beta)
 
     def backward(g: np.ndarray) -> None:
-        if beta is not None and beta.requires_grad:
-            beta._accumulate(_f32(g.sum(axis=(0, 2, 3))), own=True)
-        if gamma is not None and gamma.requires_grad:
-            gamma._accumulate(_f32((g * xhat).sum(axis=(0, 2, 3))), own=True)
+        _norm_param_grads(g, xhat, beta, gamma, "group_norm")
         if x.requires_grad:
             gy = g * gamma_r if gamma_r is not None else g
             gyg = gy.reshape(n, num_groups, c // num_groups, h, w)
@@ -687,10 +837,7 @@ def batch_norm2d(x: Tensor, gamma: Tensor | None = None,
         parents.append(beta)
 
     def backward(g: np.ndarray) -> None:
-        if beta is not None and beta.requires_grad:
-            beta._accumulate(_f32(g.sum(axis=(0, 2, 3))), own=True)
-        if gamma is not None and gamma.requires_grad:
-            gamma._accumulate(_f32((g * xhat).sum(axis=(0, 2, 3))), own=True)
+        _norm_param_grads(g, xhat, beta, gamma, "batch_norm")
         if x.requires_grad:
             gy = g * gamma_r if gamma_r is not None else g
             x._accumulate(_f32(_norm_backward(gy, xhat, inv_std, axes)), own=True)

@@ -51,6 +51,11 @@ __all__ = [
     "col2im_add",
     "im2col_reference",
     "col2im_reference",
+    "stride_order",
+    "tree_sum_safe",
+    "norm_stats_shard_safe",
+    "norm_bwd_shard_safe",
+    "clear_probe_caches",
     "fast_kernels_enabled",
     "set_fast_kernels",
     "reference_mode",
@@ -145,7 +150,7 @@ class ConvPlan:
         "slices",
         "_scatter_index", "_fwd_path", "_dw_path", "_dcols_path",
         "_ckk_safe", "_shard_safe", "_fwd_out_order",
-        "_lane_plans",
+        "_lane_plans", "_reduce_safe",
     )
 
     def __init__(self, n: int, c: int, h: int, w: int, kh: int, kw: int,
@@ -170,6 +175,7 @@ class ConvPlan:
         self._shard_safe: dict[tuple, bool] = {}
         self._fwd_out_order: dict[tuple, tuple[int, ...]] = {}
         self._lane_plans: dict[tuple, dict] = {}
+        self._reduce_safe: dict[tuple, dict] = {}
 
     # -- scatter tables ----------------------------------------------------
     def _build_slices(self):
@@ -514,6 +520,85 @@ class ConvPlan:
             default_arena.release(buf)
         return info
 
+    # -- tree-reduction probe ----------------------------------------------
+    def reduce_safe(self, oc: int, ckk: bool, nshards: int,
+                    gstrides: tuple[int, ...]) -> dict:
+        """Whether the conv weight/bias gradient reductions may run as
+        fixed-order shard trees (:func:`repro.parallel.tree_reduce`).
+
+        The tree computes per-shard partials (``dw`` via the cached
+        ``nol,nkl->ok`` contraction with ``out=``, ``db`` via
+        ``sum(axis=(0, 2))``) over :func:`even_bounds` spans and combines
+        them pairwise in shard-index order.  Regrouping a float32 reduction
+        generally changes the bits (BLAS K-blocking, numpy's pairwise
+        summation), so — as with :meth:`shard_safe` — we refuse to mirror
+        numpy's internals and byte-compare tree vs serial on deterministic
+        operands replicating the production layouts exactly: the column
+        buffer in its actual (C or KNL-major) layout, the output gradient
+        with the caller's exact strides (declining when the layout cannot
+        be replicated).  Verdicts are cached per
+        ``(oc, ckk, nshards, gstrides)`` and hold:
+
+        * ``dw`` / ``db`` — tree reduction proven byte-identical for the
+          weight / bias gradient;
+        * ``dw_order`` — the serial weight-gradient output's memory axis
+          order (the BLAS route returns a transposed result; the tree's
+          partials and final result must reproduce those strides for the
+          downstream reshape to read identical bytes).
+        """
+        key = (oc, bool(ckk), int(nshards), tuple(int(s) for s in gstrides))
+        cached = self._reduce_safe.get(key)
+        if cached is not None:
+            return cached
+        from ..parallel.intra_op import even_bounds
+        from ..parallel.tree_reduce import combine_partials
+        n = self.n
+        k = self.c * self.kh * self.kw
+        l = self.oh * self.ow
+        info = {"dw": False, "db": False, "dw_order": (0, 1)}
+        bounds = even_bounds(n, nshards)
+        # Multiple independent draws: on a small output (db has ``oc``
+        # floats) two summation orders can collide on one draw, and a
+        # verdict minted from the coincidence would diverge in production.
+        for trial in range(4):
+            rng = np.random.default_rng(0x52ED0CE + trial)
+            gflat = _replicated(rng, (n, oc, l), key[3], np.float32)
+            if gflat is None:
+                info = {"dw": False, "db": False, "dw_order": (0, 1)}
+                break
+            cols = rng.standard_normal((n, k, l)).astype(np.float32)
+            if ckk:
+                knl = np.empty((k, n, l), dtype=np.float32)
+                np.copyto(knl.transpose(1, 0, 2), cols)
+                cols = knl.transpose(1, 0, 2)  # logical (n, k, l), KNL-major
+            dfull = np.einsum("nol,nkl->ok", gflat, cols,
+                              optimize=self.dw_path(gflat, cols))
+            order = stride_order(dfull)
+            partials = [_ordered_empty(dfull.shape, order) for _ in bounds]
+            for (a, b), part in zip(bounds, partials):
+                np.einsum("nol,nkl->ok", gflat[a:b], cols[a:b], out=part,
+                          optimize=self.dw_path(gflat, cols))
+            tree = combine_partials(partials)
+            dw_ok = (np.array_equal(dfull, tree)
+                     and dfull.strides == tree.strides)
+            bfull = gflat.sum(axis=(0, 2))
+            bparts = [np.empty(bfull.shape, dtype=np.float32)
+                      for _ in bounds]
+            for (a, b), part in zip(bounds, bparts):
+                np.sum(gflat[a:b], axis=(0, 2), out=part)
+            btree = combine_partials(bparts)
+            db_ok = (np.array_equal(bfull, btree)
+                     and bfull.strides == btree.strides)
+            if trial == 0:
+                info = {"dw": dw_ok, "db": db_ok, "dw_order": order}
+            else:
+                info["dw"] = info["dw"] and dw_ok
+                info["db"] = info["db"] and db_ok
+            if not (info["dw"] or info["db"]):
+                break
+        self._reduce_safe[key] = info
+        return info
+
     def fwd_out_order(self, oc: int, ckk: bool, nshards: int) -> tuple[int, ...]:
         """Axis order (slowest to fastest stride) of the serial forward
         contraction's output, recorded by :meth:`shard_safe`.  The sharded
@@ -619,6 +704,240 @@ def set_plan_cache_limit(limit: int) -> None:
 from ..obs.memory import default_ledger as _default_ledger  # noqa: E402
 
 _default_ledger.register_provider("cache.conv_plans", plan_cache_nbytes)
+
+
+# ----------------------------------------------------------------------
+# Generic tree-reduction / norm-shard probes
+# ----------------------------------------------------------------------
+# Shared gate for every reduction the deterministic tree engine
+# (:mod:`repro.parallel.tree_reduce`) may take over outside the conv plans:
+# norm parameter sums, the loss sum, and the per-sample norm-stat fills.
+# The discipline matches ConvPlan.shard_safe: build deterministic operands
+# that replicate the production memory layout *exactly* (declining when the
+# strides cannot be replicated), byte-compare the candidate decomposition
+# against the serial computation, cache the verdict.
+
+_PROBE_LOCK = threading.Lock()
+_TREE_SUM_SAFE: dict[tuple, bool] = {}
+_NORM_STATS_SAFE: dict[tuple, dict] = {}
+_NORM_BWD_SAFE: dict[tuple, dict] = {}
+
+
+def stride_order(a: np.ndarray) -> tuple[int, ...]:
+    """Memory axis order of ``a``, slowest to fastest stride (stable)."""
+    return tuple(int(i) for i in
+                 np.argsort([-s for s in a.strides], kind="stable"))
+
+
+def _ordered_empty(shape: tuple[int, ...],
+                   order: tuple[int, ...] | None) -> np.ndarray:
+    """Fresh float32 array of ``shape`` with memory axis order ``order``."""
+    if order is None or len(shape) < 2:
+        return np.empty(shape, dtype=np.float32)
+    mem = np.empty(tuple(shape[i] for i in order), dtype=np.float32)
+    return mem.transpose(tuple(int(i) for i in np.argsort(order)))
+
+
+def _replicated(rng: np.random.Generator, shape: tuple[int, ...],
+                strides: tuple[int, ...], dtype) -> np.ndarray | None:
+    """Deterministic random array with exactly ``shape``/``strides``.
+
+    Returns None when the layout is not a dense axis permutation (sliced /
+    broadcast operands); probes then decline rather than risk verifying a
+    layout that is not the production one.
+    """
+    order = tuple(int(i) for i in
+                  np.argsort([-s for s in strides], kind="stable"))
+    mem = rng.standard_normal(tuple(shape[i] for i in order)).astype(dtype)
+    arr = mem.transpose(tuple(int(i) for i in np.argsort(order)))
+    if arr.strides != tuple(strides):
+        return None
+    return arr
+
+
+def _strides_sig(a: np.ndarray) -> tuple[int, ...]:
+    """Strides restricted to axes of extent > 1 (size-1 strides are
+    arbitrary and never affect iteration order)."""
+    return tuple(s for s, d in zip(a.strides, a.shape) if d > 1)
+
+
+def tree_sum_safe(arr: np.ndarray, axes: tuple[int, ...] | None,
+                  nshards: int, mul: np.ndarray | None = None) -> bool:
+    """Whether ``arr.sum(axis=axes)`` (or ``(arr * mul).sum(axis=axes)``)
+    may run as a fixed-order shard tree over axis 0.
+
+    Byte-compares the tree (per-shard ``np.sum`` partials over
+    :func:`even_bounds` spans, combined pairwise in shard-index order)
+    against the serial reduction on deterministic operands replicating the
+    production strides.  ``axes`` must include axis 0 (or be None for a
+    full sum); the verdict is cached per (shape, axes, strides, shard
+    count).
+
+    Several independent draws are compared, not one: two different
+    summation orders can coincidentally produce the same bytes on a given
+    draw (measured ~1-in-3 per float32 for a full 1D sum), and a verdict
+    minted from such a coincidence would let the tree silently diverge on
+    production data.  Every output element is an independent coincidence,
+    so the draw count adapts to the output size: a scalar output (the
+    loss sum) gets 16 draws, multi-element outputs get 4 — either way the
+    false-accept probability is negligible.
+    """
+    if arr.dtype != np.float32 or (mul is not None
+                                   and mul.dtype != np.float32):
+        return False
+    axes_key = None if axes is None else tuple(int(a) for a in axes)
+    key = (arr.shape, axes_key, arr.strides,
+           None if mul is None else (mul.shape, mul.strides), int(nshards))
+    with _PROBE_LOCK:
+        cached = _TREE_SUM_SAFE.get(key)
+    if cached is not None:
+        return cached
+    from ..parallel.intra_op import even_bounds
+    from ..parallel.tree_reduce import combine_partials
+    bounds = even_bounds(arr.shape[0], nshards)
+    kept = (() if axes is None else
+            tuple(d for i, d in enumerate(arr.shape)
+                  if i not in {a % arr.ndim for a in axes}))
+    out_size = int(np.prod(kept)) if kept else 1
+    trials = 16 if out_size < 4 else 4
+    safe = True
+    for trial in range(trials):
+        rng = np.random.default_rng(0x52ED05 + trial)
+        p = _replicated(rng, arr.shape, arr.strides, np.float32)
+        q = None
+        if mul is not None:
+            q = _replicated(rng, mul.shape, mul.strides, np.float32)
+        if p is None or (mul is not None and q is None):
+            safe = False
+            break
+        serial = np.asarray((p * q).sum(axis=axes) if q is not None
+                            else p.sum(axis=axes))
+        partials = []
+        for a, b in bounds:
+            part = np.empty(serial.shape, dtype=np.float32)
+            if q is not None:
+                np.sum(p[a:b] * q[a:b], axis=axes, out=part)
+            else:
+                np.sum(p[a:b], axis=axes, out=part)
+            partials.append(part)
+        tree = combine_partials(partials)
+        if not (np.array_equal(serial, tree)
+                and _strides_sig(serial) == _strides_sig(tree)):
+            safe = False
+            break
+    with _PROBE_LOCK:
+        _TREE_SUM_SAFE[key] = safe
+    return safe
+
+
+def norm_stats_shard_safe(x: np.ndarray, nshards: int) -> dict:
+    """Whether the per-sample instance-norm statistics fill
+    (:func:`repro.nn.functional._norm_stats` over axes (2, 3)) may run
+    sharded over disjoint batch spans.
+
+    Every reduction is confined to one sample's (H, W) plane, so batch
+    sharding *should* be bit-exact — but the sharded fill writes through
+    ``out=`` into composite buffers, so we verify the whole decomposition
+    (per-span mean, centered difference, variance) byte-for-byte against
+    the serial computation on layout-replicated operands, and record the
+    serial outputs' memory orders for the composite allocation.
+    """
+    key = (x.shape, x.strides, int(nshards))
+    with _PROBE_LOCK:
+        cached = _NORM_STATS_SAFE.get(key)
+    if cached is not None:
+        return cached
+    from ..parallel.intra_op import even_bounds
+    info = {"ok": False, "xc_order": None, "var_order": None}
+    rng = np.random.default_rng(0x57A75)
+    p = None if x.dtype != np.float32 else _replicated(
+        rng, x.shape, x.strides, np.float32)
+    if p is not None:
+        axes = (2, 3)
+        mean = p.mean(axis=axes, keepdims=True)
+        xc = p - mean
+        var = np.mean(xc * xc, axis=axes, keepdims=True)
+        xc_order = stride_order(xc)
+        var_order = stride_order(var)
+        xc2 = _ordered_empty(xc.shape, xc_order)
+        var2 = _ordered_empty(var.shape, var_order)
+        for a, b in even_bounds(x.shape[0], nshards):
+            m = p[a:b].mean(axis=axes, keepdims=True)
+            np.subtract(p[a:b], m, out=xc2[a:b])
+            sq = xc2[a:b] * xc2[a:b]
+            np.mean(sq, axis=axes, keepdims=True, out=var2[a:b])
+        if (np.array_equal(xc, xc2) and np.array_equal(var, var2)
+                and _strides_sig(xc) == _strides_sig(xc2)
+                and _strides_sig(var) == _strides_sig(var2)):
+            info = {"ok": True, "xc_order": xc_order,
+                    "var_order": var_order}
+    with _PROBE_LOCK:
+        _NORM_STATS_SAFE[key] = info
+    return info
+
+
+def norm_bwd_shard_safe(g: np.ndarray, xhat: np.ndarray,
+                        inv_std: np.ndarray, nshards: int) -> dict:
+    """Whether the instance-norm input-gradient fill
+    (:func:`repro.nn.functional._norm_backward` over axes (2, 3)) may run
+    sharded over disjoint batch spans, writing lane spans of a composite
+    allocated in the serial result's layout (recorded as ``dx_order``).
+    """
+    key = (g.shape, g.strides, xhat.strides, inv_std.strides, int(nshards))
+    with _PROBE_LOCK:
+        cached = _NORM_BWD_SAFE.get(key)
+    if cached is not None:
+        return cached
+    from ..parallel.intra_op import even_bounds
+    info = {"ok": False, "dx_order": None}
+    rng = np.random.default_rng(0x57A76)
+    pg = None if g.dtype != np.float32 else _replicated(
+        rng, g.shape, g.strides, np.float32)
+    ph = None if xhat.dtype != np.float32 else _replicated(
+        rng, xhat.shape, xhat.strides, np.float32)
+    pi_mem = rng.standard_normal(
+        tuple(inv_std.shape[i] for i in stride_order(inv_std))
+    ).astype(np.float32)
+    pi = np.abs(pi_mem).transpose(
+        tuple(int(i) for i in np.argsort(stride_order(inv_std)))) + np.float32(0.5)
+    if pg is not None and ph is not None \
+            and _strides_sig(pi) == _strides_sig(inv_std):
+        axes = (2, 3)
+        m = 1
+        for ax in axes:
+            m *= g.shape[ax]
+        # Serial reference mirrors functional._norm_backward exactly.
+        sum_g = pg.sum(axis=axes, keepdims=True)
+        sum_gx = (pg * ph).sum(axis=axes, keepdims=True)
+        ref = m * pg
+        ref -= sum_g
+        ref -= ph * sum_gx
+        ref *= pi * np.float32(1.0 / m)
+        dx_order = stride_order(ref)
+        dx = _ordered_empty(ref.shape, dx_order)
+        for a, b in even_bounds(g.shape[0], nshards):
+            # Mirrors functional._norm_backward_into on one batch span.
+            gs, hs = pg[a:b], ph[a:b]
+            sg = gs.sum(axis=axes, keepdims=True)
+            sgx = (gs * hs).sum(axis=axes, keepdims=True)
+            np.multiply(gs, m, out=dx[a:b])
+            dx[a:b] -= sg
+            dx[a:b] -= hs * sgx
+            dx[a:b] *= pi[a:b] * np.float32(1.0 / m)
+        if (np.array_equal(ref, dx)
+                and _strides_sig(ref) == _strides_sig(dx)):
+            info = {"ok": True, "dx_order": dx_order}
+    with _PROBE_LOCK:
+        _NORM_BWD_SAFE[key] = info
+    return info
+
+
+def clear_probe_caches() -> None:
+    """Drop the module-level probe verdict caches (tests only)."""
+    with _PROBE_LOCK:
+        _TREE_SUM_SAFE.clear()
+        _NORM_STATS_SAFE.clear()
+        _NORM_BWD_SAFE.clear()
 
 
 # ----------------------------------------------------------------------

@@ -115,6 +115,17 @@ def metrics_from_snapshot(data: Mapping[str, Any],
         for key, value in (scaling.get("sweep") or {}).items():
             if key.startswith("jobs="):
                 metrics[f"parallel/sweep/{key}"] = float(value)
+    reduce_ = data.get("reduce") or {}
+    if want("reduce"):
+        # Tree-reduction engine: the tree path's seconds are the
+        # regression target; the serial reference rides along so a rot in
+        # the fallback reduction is caught too.
+        for case, row in (reduce_.get("cases") or {}).items():
+            if isinstance(row, Mapping):
+                if "tree_s" in row:
+                    metrics[f"reduce/{case}"] = float(row["tree_s"])
+                if "serial_s" in row:
+                    metrics[f"reduce/{case}/serial"] = float(row["serial_s"])
     fd_fuse = data.get("fd_fuse") or {}
     if want("fd_fuse"):
         # Track the fused numbers (the regression target) and the unfused

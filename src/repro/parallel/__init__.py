@@ -5,6 +5,12 @@
   softmax) across a persistent thread pool.  Numpy releases the GIL inside
   its big array primitives, so shards overlap on real cores while results
   stay bit-identical to the serial path.
+* :mod:`repro.parallel.tree_reduce` — the **deterministic reduction
+  engine** backing Layer 1's batch reductions: per-shard float32 partials
+  over fixed shard boundaries, combined pairwise in shard-index order, so
+  the summation tree depends only on (n, shard count) and the result at T
+  threads equals the result at 1 thread.  Probe-gated per shape against
+  the serial reduction.
 * :mod:`repro.parallel.sweep` — **Layer 2**: a multiprocessing sweep
   executor that fans independent experiment grid points out to worker
   processes, shipping the large arrays once through
@@ -21,6 +27,11 @@ from .intra_op import (even_bounds, get_num_threads, note_serial_fallback,
                        shutdown, stats, thread_arena)
 from .sweep import (SharedArrayPack, SweepOutcome, SweepTaskError,
                     default_start_method, iter_sweep, run_sweep)
+# Import the submodule (not the same-named function) so that
+# ``from repro.parallel import tree_reduce`` yields the module and the
+# primitive stays addressable as ``tree_reduce.tree_reduce``.
+from . import tree_reduce
+from .tree_reduce import combine_partials, note_reduce_fallback
 
 __all__ = [
     "get_num_threads",
@@ -32,6 +43,9 @@ __all__ = [
     "run_sharded",
     "thread_arena",
     "note_serial_fallback",
+    "tree_reduce",
+    "combine_partials",
+    "note_reduce_fallback",
     "stats",
     "reset_stats",
     "shutdown",

@@ -14,9 +14,11 @@ Sharding must never change results, bit for bit:
 
 * **Fixed shard boundaries** — :func:`even_bounds` depends only on the batch
   size and the shard count, never on timing or which thread picks up what.
-* **Disjoint writes** — every shard writes a disjoint ``[a:b)`` slice of a
-  preallocated output; there is no cross-shard reduction on the sharded
-  paths (batch reductions such as the conv weight gradient stay serial).
+* **Disjoint writes** — every shard of a :func:`run_sharded` call writes a
+  disjoint ``[a:b)`` slice of a preallocated output; batch reductions (conv
+  weight/bias gradients, norm parameter sums, the loss sum) instead go
+  through :mod:`repro.parallel.tree_reduce`, which combines per-shard
+  partials in a fixed pairwise order and is probe-gated per shape.
 * **Probed contractions** — einsum float32 summation order can in principle
   depend on operand shapes/strides, so the conv kernels additionally verify
   a shape's shard decomposition against the serial contraction on
@@ -94,7 +96,13 @@ _THREAD_ARENA_MAX_MB = max(1, _env_int("REPRO_THREAD_ARENA_MAX_MB", 128))
 _STATS_LOCK = threading.Lock()
 _SHARDED_CALLS = 0
 _SHARDS_DISPATCHED = 0
-_SERIAL_FALLBACKS = 0  # probe- or caller-declined sharding at >1 threads
+# Serial fallbacks at >1 configured threads, split by cause so
+# REPRO_SHARD_MIN_BATCH and the per-op gates can be tuned from data:
+# "probe" (a bit-safety probe declined the shape), "threshold" (the batch
+# was too small for two shards), "caller" (the op declined for a
+# non-probe reason, e.g. bincount scatter mode).
+_FALLBACK_REASONS = ("probe", "threshold", "caller")
+_FALLBACKS = {reason: 0 for reason in _FALLBACK_REASONS}
 
 
 class _ThreadLocalArenas(threading.local):
@@ -211,10 +219,14 @@ def shard_bounds(n: int) -> list[tuple[int, int]] | None:
     Returns None when a single thread is configured or the batch is too
     small to fill at least two shards of ``shard_threshold()`` rows each.
     """
-    if _NUM_THREADS < 2 or n < 2 * _MIN_SHARD:
+    if _NUM_THREADS < 2:
+        return None
+    if n < 2 * _MIN_SHARD:
+        note_serial_fallback("threshold")
         return None
     k = min(_NUM_THREADS, n // _MIN_SHARD)
     if k < 2:
+        note_serial_fallback("threshold")
         return None
     return even_bounds(n, k)
 
@@ -259,14 +271,23 @@ def run_sharded(fn, bounds: list[tuple[int, int]]) -> None:
             obs.observe("parallel.shard_size", b - a)
 
 
-def note_serial_fallback() -> None:
-    """Record that a shardable op declined sharding (probe/scatter mode)."""
-    global _SERIAL_FALLBACKS
+def note_serial_fallback(reason: str = "probe") -> None:
+    """Record that a shardable op declined sharding, labelled by cause.
+
+    ``reason`` is one of ``"probe"`` (a bit-safety probe declined the
+    shape; the historical default), ``"threshold"`` (batch below two
+    shards of ``shard_threshold()`` rows), or ``"caller"`` (the op
+    declined for a non-probe reason, e.g. the bincount scatter mode).
+    """
+    if reason not in _FALLBACK_REASONS:
+        raise ValueError(f"unknown fallback reason {reason!r}; "
+                         f"expected one of {_FALLBACK_REASONS}")
     with _STATS_LOCK:
-        _SERIAL_FALLBACKS += 1
+        _FALLBACKS[reason] += 1
     from .. import obs
     if obs.enabled():
         obs.counter("parallel.serial_fallbacks")
+        obs.counter(f"parallel.serial_fallbacks.{reason}")
 
 
 # ----------------------------------------------------------------------
@@ -274,16 +295,22 @@ def note_serial_fallback() -> None:
 # ----------------------------------------------------------------------
 def stats() -> dict[str, int]:
     with _STATS_LOCK:
-        return {
+        out = {
             "num_threads": _NUM_THREADS,
             "shard_min_batch": _MIN_SHARD,
             "sharded_calls": _SHARDED_CALLS,
             "shards_dispatched": _SHARDS_DISPATCHED,
-            "serial_fallbacks": _SERIAL_FALLBACKS,
+            # Aggregate kept for continuity with pre-split telemetry.
+            "serial_fallbacks": sum(_FALLBACKS.values()),
         }
+        for reason in _FALLBACK_REASONS:
+            out[f"fallback_{reason}"] = _FALLBACKS[reason]
+    return out
 
 
 def reset_stats() -> None:
-    global _SHARDED_CALLS, _SHARDS_DISPATCHED, _SERIAL_FALLBACKS
+    global _SHARDED_CALLS, _SHARDS_DISPATCHED
     with _STATS_LOCK:
-        _SHARDED_CALLS = _SHARDS_DISPATCHED = _SERIAL_FALLBACKS = 0
+        _SHARDED_CALLS = _SHARDS_DISPATCHED = 0
+        for reason in _FALLBACK_REASONS:
+            _FALLBACKS[reason] = 0

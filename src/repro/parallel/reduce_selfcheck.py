@@ -1,0 +1,159 @@
+"""Deterministic tree-reduction self-check (reduce leg of repro-check).
+
+Run as ``python -m repro.parallel.reduce_selfcheck``.  Exercises the
+reduction engine end to end the way the training step uses it:
+
+1. **Bit-identity** — conv2d forward/backward, instance-norm
+   forward/backward, and the cross-entropy loss must produce byte-identical
+   outputs and gradients at ``threads=1`` and ``threads=4`` on the
+   learner-test shapes, both where the probes admit the tree (large
+   power-of-two batches) and where they decline it (the engine must fall
+   back serially, never approximately).
+2. **Counter accounting** — the threads=4 run must actually consult the
+   engine: on the engaging shape at least one tree reduction dispatches;
+   on the declining shape every consultation lands in
+   ``parallel.reduce.fallbacks``; probe verdicts are cached so a repeat
+   run adds no new probe work.
+3. **Learner-segment equivalence** — a full micro-profile DECO learner
+   run at ``threads=4`` reproduces the ``threads=1`` accuracy/diagnostic
+   fingerprint exactly.
+"""
+
+from __future__ import annotations
+
+import math
+import sys
+import time
+
+import numpy as np
+
+
+class SelfCheckFailure(AssertionError):
+    pass
+
+
+def _check(condition: bool, message: str) -> None:
+    if not condition:
+        raise SelfCheckFailure(message)
+
+
+def _model_step(seed: int, n: int):
+    """One conv + instance-norm + cross-entropy step; returns all bytes."""
+    from ..nn import functional as F
+    from ..nn.losses import cross_entropy
+    from ..nn.tensor import Tensor
+
+    rng = np.random.default_rng(seed)
+    x = Tensor(rng.standard_normal((n, 3, 8, 8)).astype(np.float32),
+               requires_grad=True)
+    w = Tensor(rng.standard_normal((8, 3, 3, 3)).astype(np.float32) * 0.1,
+               requires_grad=True)
+    b = Tensor(np.zeros(8, np.float32), requires_grad=True)
+    gamma = Tensor(np.ones(8, np.float32), requires_grad=True)
+    beta = Tensor(np.zeros(8, np.float32), requires_grad=True)
+    proj = Tensor(rng.standard_normal((8 * 8 * 8, 10)).astype(np.float32)
+                  * 0.01)
+    out = F.conv2d(x, w, b, stride=1, padding=1)
+    out = F.instance_norm2d(out, gamma, beta)
+    logits = out.reshape(n, -1).matmul(proj)
+    loss = cross_entropy(logits, rng.integers(0, 10, n))
+    loss.backward()
+    return {"loss": loss.data.copy(), "dx": x.grad.copy(),
+            "dw": w.grad.copy(), "db": b.grad.copy(),
+            "dgamma": gamma.grad.copy(), "dbeta": beta.grad.copy()}
+
+
+def _norm(value):
+    if isinstance(value, float) and math.isnan(value):
+        return "nan"
+    return value
+
+
+def _fingerprint(result):
+    return (result.final_accuracy,
+            [sorted((k, _norm(v)) for k, v in d.items())
+             for d in result.history.diagnostics])
+
+
+def main() -> int:
+    from . import intra_op, tree_reduce
+
+    t0 = time.perf_counter()
+    saved_threads = intra_op.get_num_threads()
+    saved_threshold = intra_op.shard_threshold()
+    try:
+        # -- 1+2: micro-step bit-identity with counter accounting --------
+        # Batch 512 at 4 shards replicates numpy's pairwise split points,
+        # so the loss-sum probe admits the tree; batch 64 does not, and
+        # every consultation must fall back serially.
+        for n, expect_engaged in ((512, True), (64, False)):
+            intra_op.set_num_threads(1)
+            reference = _model_step(7, n)
+            intra_op.set_num_threads(4)
+            intra_op.set_shard_threshold(32)
+            intra_op.reset_stats()
+            tree_reduce.reset_stats()
+            got = _model_step(7, n)
+            for name, ref in reference.items():
+                _check(ref.tobytes() == got[name].tobytes(),
+                       f"{name} diverged between threads=1 and threads=4 "
+                       f"at batch {n}")
+            stats = tree_reduce.stats()
+            if expect_engaged:
+                _check(stats["calls"] >= 1,
+                       f"batch {n}: no tree reduction dispatched "
+                       f"(stats={stats})")
+                print(f"[reduce-selfcheck] batch {n}: bit-identical, "
+                      f"{stats['calls']} tree call(s), "
+                      f"{stats['shards']} shard(s), "
+                      f"{stats['fallbacks']} fallback(s)")
+            else:
+                _check(stats["calls"] == 0 and stats["fallbacks"] >= 1,
+                       f"batch {n}: expected serial fallbacks only "
+                       f"(stats={stats})")
+                print(f"[reduce-selfcheck] batch {n}: bit-identical via "
+                      f"{stats['fallbacks']} honest fallback(s)")
+
+        # Probe verdicts are cached per shape: a repeat run must not
+        # change the fallback tally per call (same declines, no flapping).
+        tree_reduce.reset_stats()
+        _model_step(7, 512)
+        first = tree_reduce.stats()
+        tree_reduce.reset_stats()
+        _model_step(7, 512)
+        second = tree_reduce.stats()
+        _check(first == second,
+               f"probe verdicts flapped between runs: {first} vs {second}")
+        print(f"[reduce-selfcheck] verdict cache stable: {second}")
+
+        # -- 3: full micro DECO learner segment ---------------------------
+        from ..experiments import prepare_experiment, run_method
+
+        print("[reduce-selfcheck] learner segment: core50/micro deco, "
+              "threads 1 vs 4")
+        prepared = prepare_experiment("core50", "micro", seed=0)
+        intra_op.set_num_threads(1)
+        serial = run_method(prepared, "deco", 1, seed=0)
+        intra_op.set_num_threads(4)
+        intra_op.set_shard_threshold(4)
+        parallel = run_method(prepared, "deco", 1, seed=0)
+        _check(_fingerprint(serial) == _fingerprint(parallel),
+               "DECO learner fingerprint diverged between threads=1 and "
+               "threads=4")
+    finally:
+        intra_op.set_num_threads(saved_threads)
+        intra_op.set_shard_threshold(saved_threshold)
+        intra_op.reset_stats()
+        tree_reduce.reset_stats()
+
+    print(f"[reduce-selfcheck] OK: tree reductions bit-identical across "
+          f"thread counts ({time.perf_counter() - t0:.1f}s)")
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except SelfCheckFailure as exc:
+        print(f"[reduce-selfcheck] FAILED: {exc}")
+        sys.exit(1)

@@ -29,7 +29,10 @@ Design points
   formatted traceback; the parent raises :class:`SweepTaskError` carrying
   the offending config and the remote traceback instead of hanging or
   dying with an opaque ``BrokenProcessPool``.  Hard worker death (OOM kill,
-  segfault) is mapped to the same error type.
+  segfault) is mapped to the same error type.  Soft failures are raised
+  only after the stream drains, so concurrently-running good points still
+  finish and get journaled — a fast-failing config can no longer erase a
+  slow good point's record just by completing first.
 * **``jobs=1`` is exactly today's behaviour**: the grid runs inline in the
   parent process, in order, with no multiprocessing machinery at all.
 
@@ -533,9 +536,16 @@ def run_sweep(worker: SweepWorker, configs: Sequence[dict], *,
         Multiprocessing start method override (default:
         :func:`default_start_method`).
     raise_on_error:
-        When True (default) the first failing grid point raises
-        :class:`SweepTaskError`; when False, failures are returned as
-        outcomes with ``.error`` set and the sweep keeps going.
+        When True (default) a failing grid point raises
+        :class:`SweepTaskError` carrying the lowest-index failure — but
+        only *after* the completion stream drains, so points already
+        running (or queued) still finish and are journaled.  Raising
+        immediately would let a fast-failing config abandon a slow good
+        point before its journal line lands (on a one-core container the
+        bad point often completes first).  Hard worker death
+        (``BrokenProcessPool``) still aborts immediately: the pool is
+        broken and no further results can land.  When False, failures are
+        returned as outcomes with ``.error`` set.
     journal:
         Optional :class:`~repro.persist.ResumeJournal`.  Every successful
         grid point is recorded (result persisted first, journal line
@@ -592,6 +602,8 @@ def run_sweep(worker: SweepWorker, configs: Sequence[dict], *,
             else:
                 pending.append(i)
 
+    failed: list[int] = []
+
     def complete(index: int, outcome: SweepOutcome) -> None:
         outcomes[index] = outcome
         _emit_outcome(outcome, index)
@@ -601,8 +613,10 @@ def run_sweep(worker: SweepWorker, configs: Sequence[dict], *,
                            worker_pid=outcome.worker_pid)
         if on_result is not None:
             on_result(index, outcome)
-        if not outcome.ok and raise_on_error:
-            raise SweepTaskError(outcome.config, outcome.error) from None
+        if not outcome.ok:
+            # Remember the failure but keep draining the stream: in-flight
+            # good points must land (and be journaled) before we raise.
+            failed.append(index)
 
     if pending:
         stream = iter_sweep(worker, configs, jobs=jobs, arrays=arrays,
@@ -613,8 +627,11 @@ def run_sweep(worker: SweepWorker, configs: Sequence[dict], *,
             for index, outcome in stream:
                 complete(index, outcome)
         finally:
-            # Explicit close so abandoning the stream (SweepTaskError from
-            # ``complete``) releases the shm pack and merges telemetry
-            # shards deterministically, not at GC time.
+            # Explicit close so abandoning the stream (BrokenProcessPool,
+            # or an ``on_result`` hook raising) releases the shm pack and
+            # merges telemetry shards deterministically, not at GC time.
             stream.close()
+    if failed and raise_on_error:
+        first = outcomes[min(failed)]
+        raise SweepTaskError(first.config, first.error) from None
     return [o for o in outcomes if o is not None]

@@ -142,6 +142,40 @@ def test_stats_count_sharded_calls_and_fallbacks():
     assert intra_op.stats()["sharded_calls"] == 0
 
 
+def test_fallbacks_are_counted_per_reason():
+    intra_op.set_num_threads(4)
+    intra_op.reset_stats()
+    intra_op.note_serial_fallback()            # defaults to "probe"
+    intra_op.note_serial_fallback("probe")
+    intra_op.note_serial_fallback("caller")
+    intra_op.set_shard_threshold(32)
+    assert intra_op.shard_bounds(16) is None   # 16 < 2 * 32 -> "threshold"
+    stats = intra_op.stats()
+    assert stats["fallback_probe"] == 2
+    assert stats["fallback_threshold"] == 1
+    assert stats["fallback_caller"] == 1
+    # The aggregate stays the sum of the reasons (legacy counter name).
+    assert stats["serial_fallbacks"] == 4
+    intra_op.reset_stats()
+    stats = intra_op.stats()
+    assert stats["serial_fallbacks"] == 0
+    assert stats["fallback_probe"] == 0
+
+
+def test_note_serial_fallback_rejects_unknown_reason():
+    with pytest.raises(ValueError, match="reason"):
+        intra_op.note_serial_fallback("cosmic-rays")
+
+
+def test_threshold_fallback_not_counted_below_two_threads():
+    # With one thread the serial path is not a "fallback" — nothing was
+    # declined, parallelism was simply off.
+    intra_op.set_num_threads(1)
+    intra_op.reset_stats()
+    assert intra_op.shard_bounds(1024) is None
+    assert intra_op.stats()["serial_fallbacks"] == 0
+
+
 # ----------------------------------------------------------------------
 # Per-thread arenas
 # ----------------------------------------------------------------------

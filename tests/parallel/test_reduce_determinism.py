@@ -1,0 +1,165 @@
+"""Thread-count invariance of the tree-reduced training-step reductions.
+
+The reduction engine's enforced guarantee: the conv weight/bias gradients,
+instance-norm statistics and parameter gradients, and the loss sum are
+byte-identical at every ``REPRO_NUM_THREADS`` setting and across repeated
+runs — both where the probes admit the shard tree (large power-of-two
+batches) and where they decline it (serial fallback).  Covers the plain
+autograd path, the fused finite-difference lane path, and a full micro
+DECO learner segment.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+from repro.nn import kernels
+from repro.nn.losses import cross_entropy
+from repro.nn.tensor import Tensor
+from repro.parallel import intra_op, tree_reduce
+
+
+@pytest.fixture(autouse=True)
+def _restore_config():
+    threads = intra_op.get_num_threads()
+    threshold = intra_op.shard_threshold()
+    yield
+    intra_op.set_num_threads(threads)
+    intra_op.set_shard_threshold(threshold)
+    intra_op.reset_stats()
+    tree_reduce.reset_stats()
+
+
+def _training_step(batch):
+    """Conv + instance-norm + cross-entropy; returns every gradient."""
+    rng = np.random.default_rng(11)
+    x = Tensor(rng.standard_normal((batch, 3, 8, 8)).astype(np.float32),
+               requires_grad=True)
+    w = Tensor(rng.standard_normal((8, 3, 3, 3)).astype(np.float32) * 0.1,
+               requires_grad=True)
+    b = Tensor(np.zeros(8, np.float32), requires_grad=True)
+    gamma = Tensor(np.ones(8, np.float32), requires_grad=True)
+    beta = Tensor(np.zeros(8, np.float32), requires_grad=True)
+    proj = Tensor(rng.standard_normal((8 * 8 * 8, 10)).astype(np.float32)
+                  * 0.01)
+    out = F.conv2d(x, w, b, stride=1, padding=1)
+    out = F.instance_norm2d(out, gamma, beta)
+    logits = out.reshape(batch, -1).matmul(proj)
+    loss = cross_entropy(logits, rng.integers(0, 10, batch))
+    loss.backward()
+    return {"loss": loss.data.copy(), "dx": x.grad.copy(),
+            "dw": w.grad.copy(), "db": b.grad.copy(),
+            "dgamma": gamma.grad.copy(), "dbeta": beta.grad.copy()}
+
+
+@pytest.fixture(scope="module")
+def _serial_reference():
+    saved = intra_op.get_num_threads()
+    intra_op.set_num_threads(1)
+    try:
+        return {batch: _training_step(batch) for batch in (64, 512)}
+    finally:
+        intra_op.set_num_threads(saved)
+
+
+@pytest.mark.parametrize("threads", [1, 2, 4])
+@pytest.mark.parametrize("batch", [64, 512])
+def test_training_step_bit_identical_across_thread_counts(
+        threads, batch, _serial_reference):
+    intra_op.set_num_threads(threads)
+    intra_op.set_shard_threshold(32)
+    got = _training_step(batch)
+    for name, ref in _serial_reference[batch].items():
+        assert ref.tobytes() == got[name].tobytes(), (
+            f"{name} diverged at threads={threads}, batch={batch}")
+
+
+@pytest.mark.parametrize("threads", [2, 4])
+def test_training_step_stable_across_repeated_runs(threads):
+    intra_op.set_num_threads(threads)
+    intra_op.set_shard_threshold(32)
+    first = _training_step(512)
+    second = _training_step(512)
+    for name, ref in first.items():
+        assert ref.tobytes() == second[name].tobytes(), name
+
+
+def test_tree_engages_on_large_batches_and_falls_back_on_small():
+    intra_op.set_num_threads(4)
+    intra_op.set_shard_threshold(32)
+    tree_reduce.reset_stats()
+    _training_step(512)
+    engaged = tree_reduce.stats()
+    assert engaged["calls"] >= 1  # at least the loss sum runs as a tree
+    tree_reduce.reset_stats()
+    _training_step(64)
+    declined = tree_reduce.stats()
+    assert declined["calls"] == 0
+    assert declined["fallbacks"] >= 1  # consulted, honestly declined
+
+
+# ----------------------------------------------------------------------
+# Fused finite-difference lane path
+# ----------------------------------------------------------------------
+def _fd_gradient():
+    from repro.condensation import matching
+    from repro.nn.convnet import ConvNet
+
+    rng = np.random.default_rng(2)
+    model = ConvNet(3, 4, 8, width=8, depth=2, rng=np.random.default_rng(8))
+    x = rng.standard_normal((8, 3, 8, 8)).astype(np.float32)
+    y = rng.integers(0, 4, size=8).astype(np.int64)
+    direction = [rng.standard_normal(p.data.shape).astype(np.float32)
+                 for p in model.parameters()]
+    return matching.finite_difference_matching_grad(model, x, y, direction)
+
+
+@pytest.mark.parametrize("threads", [2, 4])
+def test_fused_fd_lane_path_bit_identical_across_thread_counts(threads):
+    saved_fuse = kernels.fd_fuse_enabled()
+    saved_fast = kernels.fast_kernels_enabled()
+    kernels.set_fast_kernels(True)
+    kernels.set_fd_fuse(True)
+    try:
+        intra_op.set_num_threads(1)
+        serial = _fd_gradient()
+        intra_op.set_num_threads(threads)
+        intra_op.set_shard_threshold(4)
+        parallel = _fd_gradient()
+        repeat = _fd_gradient()
+    finally:
+        kernels.set_fd_fuse(saved_fuse)
+        kernels.set_fast_kernels(saved_fast)
+    assert serial.tobytes() == parallel.tobytes()
+    assert serial.tobytes() == repeat.tobytes()
+
+
+# ----------------------------------------------------------------------
+# Full learner segment
+# ----------------------------------------------------------------------
+def _norm(value):
+    if isinstance(value, float) and math.isnan(value):
+        return "nan"
+    return value
+
+
+def _fingerprint(result):
+    return (result.final_accuracy,
+            [sorted((k, _norm(v)) for k, v in d.items())
+             for d in result.history.diagnostics])
+
+
+def test_deco_learner_segment_bit_identical_threads_1_vs_4():
+    from repro.experiments import prepare_experiment, run_method
+
+    prepared = prepare_experiment("core50", "micro", seed=0)
+    intra_op.set_num_threads(1)
+    serial = run_method(prepared, "deco", 1, seed=0)
+    intra_op.set_num_threads(4)
+    intra_op.set_shard_threshold(4)
+    parallel = run_method(prepared, "deco", 1, seed=0)
+    assert _fingerprint(serial) == _fingerprint(parallel)

@@ -188,6 +188,51 @@ def test_sweep_does_not_journal_failures(tmp_path):
     assert reloaded.lookup(reloaded.key(configs[1])) is None
 
 
+def test_sweep_failure_defers_until_remaining_points_journal(tmp_path):
+    # A fast-failing config must not abandon points still in flight: the
+    # raise is deferred until the stream drains, so every good point's
+    # journal line lands first (on a one-core box the bad point often
+    # completes before a slower good point).
+    from repro.persist import ResumeJournal
+    journal = ResumeJournal(tmp_path / "j.jsonl")
+    configs = [{"i": 0, "boom": True}, {"i": 1}, {"i": 2}]
+    with pytest.raises(SweepTaskError) as exc_info:
+        run_sweep(_crashy_worker, configs, jobs=1, journal=journal)
+    assert exc_info.value.config == configs[0]
+    reloaded = ResumeJournal(tmp_path / "j.jsonl")
+    assert len(reloaded) == 2
+    assert reloaded.lookup(reloaded.key(configs[1])) is not None
+    assert reloaded.lookup(reloaded.key(configs[2])) is not None
+
+
+def test_sweep_raises_lowest_index_failure(tmp_path):
+    from repro.persist import ResumeJournal
+    journal = ResumeJournal(tmp_path / "j.jsonl")
+    configs = [{"i": 0}, {"i": 1, "boom": True}, {"i": 2, "boom": True}]
+    with pytest.raises(SweepTaskError) as exc_info:
+        run_sweep(_crashy_worker, configs, jobs=2, journal=journal)
+    assert exc_info.value.config == configs[1]
+    assert len(ResumeJournal(tmp_path / "j.jsonl")) == 1
+
+
+def test_sweep_deferred_failure_enables_clean_resume(tmp_path):
+    # The crash/resume contract that satellite selfchecks rely on: after a
+    # sweep with one bad point, fixing the config and resuming re-runs
+    # only the previously-failed point.
+    from repro.persist import ResumeJournal
+    journal = ResumeJournal(tmp_path / "j.jsonl")
+    configs = [{"i": 0}, {"i": 1, "boom": True}]
+    with pytest.raises(SweepTaskError):
+        run_sweep(_crashy_worker, configs, jobs=2, journal=journal)
+    fixed = [{"i": 0}, {"i": 1}]
+    reloaded = ResumeJournal(tmp_path / "j.jsonl")
+    outcomes = run_sweep(_crashy_worker, fixed, jobs=1, journal=reloaded,
+                         resume=True)
+    assert outcomes[0].extra.get("resumed")
+    assert not outcomes[1].extra.get("resumed")
+    assert outcomes[1].result == 2  # only the failed point re-ran
+
+
 # ----------------------------------------------------------------------
 # Resource-tracker patch (shm attach on Python < 3.13)
 # ----------------------------------------------------------------------
