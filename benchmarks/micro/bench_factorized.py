@@ -1,0 +1,94 @@
+"""Micro-benchmark: factorized condensed storage, f=1 vs f=2 at equal bytes.
+
+Runs the DECO learner end to end on the micro profile (CORe50, ConvNet
+width 8 depth 2) twice: full-resolution storage at the base IpC, and
+factorized storage (``decode_factor=2``) at ``f**2 x`` the IpC — the
+equal-byte-budget operating point (the f=2 buffer holds 4x the images in
+exactly the same payload bytes).  Each case reports final accuracy, the
+persistent footprint from the run's memory accounting, and the headline
+metric **accuracy per MiB** plus its inverse ``mib_per_acc`` — the value
+the bench history tracks, because ``repro obs regress`` flags metrics
+that *increase* and storage efficiency regressing makes MiB-per-accuracy
+rise.
+
+Results merge into ``bench_results/micro_kernels.json`` under
+``factorized`` and append to the bench history.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/micro/bench_factorized.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro.experiments.common import prepare_experiment, run_method
+
+try:  # package import (pytest) vs direct script execution
+    from .bench_kernels import RESULTS_PATH, merge_results
+except ImportError:  # pragma: no cover - script mode
+    from bench_kernels import RESULTS_PATH, merge_results
+
+DATASET, PROFILE = "core50", "micro"
+BASE_IPC = 1
+
+
+def run_case(prepared, *, ipc: int, decode_factor: int, seed: int) -> dict:
+    """One full learner run; returns the metrics the history tracks."""
+    t0 = time.perf_counter()
+    result = run_method(prepared, "deco", ipc, seed=seed,
+                        decode_factor=decode_factor)
+    run_s = time.perf_counter() - t0
+    memory = result.extra["memory"]
+    acc = result.final_accuracy
+    mib = memory["total_bytes"] / 2 ** 20
+    return {
+        "ipc": ipc,
+        "decode_factor": decode_factor,
+        "accuracy": acc,
+        "buffer_bytes": int(memory["buffer_bytes"]),
+        "total_bytes": int(memory["total_bytes"]),
+        "accuracy_per_mib": acc * 100.0 / mib,
+        "mib_per_acc": mib / max(acc * 100.0, 1e-9),
+        "run_s": run_s,
+    }
+
+
+def main(argv=None) -> dict:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--base-ipc", type=int, default=BASE_IPC,
+                        help="IpC of the f=1 case; f=2 runs at 4x this")
+    args = parser.parse_args(argv)
+
+    prepared = prepare_experiment(DATASET, PROFILE, seed=0)
+    cases = {
+        "f1": run_case(prepared, ipc=args.base_ipc, decode_factor=1,
+                       seed=args.seed),
+        "f2": run_case(prepared, ipc=args.base_ipc * 4, decode_factor=2,
+                       seed=args.seed),
+    }
+    payload = {
+        "config": {"dataset": DATASET, "profile": PROFILE,
+                   "base_ipc": args.base_ipc, "seed": args.seed},
+        "cases": cases,
+    }
+    merge_results("factorized", payload)
+
+    print(f"factorized storage ({DATASET} {PROFILE}, equal byte budget):")
+    for name, row in cases.items():
+        print(f"  {name}: IpC={row['ipc']:<3d} buffer {row['buffer_bytes']:6d} B"
+              f"  acc {row['accuracy']:.2%}  acc/MiB {row['accuracy_per_mib']:7.1f}"
+              f"  ({row['run_s']:.1f}s)")
+    f1, f2 = cases["f1"], cases["f2"]
+    if f1["buffer_bytes"] != f2["buffer_bytes"]:
+        print(f"  WARNING: byte budgets differ "
+              f"({f1['buffer_bytes']} vs {f2['buffer_bytes']})")
+    print(f"[saved to {RESULTS_PATH}]")
+    return payload
+
+
+if __name__ == "__main__":
+    main()

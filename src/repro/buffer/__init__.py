@@ -1,12 +1,13 @@
 """Replay buffers and buffer-selection baselines."""
 
 from .buffer import RawBuffer, SyntheticBuffer
+from .factorized import FactorizedSyntheticBuffer
 from .selection import (EXTRA_STRATEGY_NAMES, FIFO, STRATEGY_NAMES, GSSGreedy,
                         Herding, KCenter, RandomReservoir, SelectionStrategy,
                         SelectiveBP, make_strategy)
 
 __all__ = [
-    "SyntheticBuffer", "RawBuffer",
+    "SyntheticBuffer", "FactorizedSyntheticBuffer", "RawBuffer",
     "SelectionStrategy", "RandomReservoir", "FIFO", "SelectiveBP", "KCenter",
     "GSSGreedy", "Herding", "make_strategy", "STRATEGY_NAMES",
     "EXTRA_STRATEGY_NAMES",

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..obs.memory import track_object
+from ..obs.memory import default_ledger, track_object
 from ..utils.rng import to_rng
 
 __all__ = ["SyntheticBuffer", "RawBuffer"]
@@ -27,7 +27,21 @@ class SyntheticBuffer:
     ``c``, so every class owns a contiguous block and the buffer is always
     exactly class-balanced, as §III requires
     (``|S_c| = |S| / |C|`` for every class).
+
+    Storage and decode are separated so subclasses can hold the pixels in a
+    compressed representation: ``images`` holds the *stored* payload (shape
+    ``(capacity, *storage_shape)``), :meth:`decode` maps stored rows to
+    full-resolution ``image_shape`` views for the model, and
+    :meth:`encode_grad` maps a gradient in decoded space back onto the
+    storage (the decode transpose).  For this base class storage *is* the
+    decoded representation, so both maps are the identity and return their
+    argument unchanged.
     """
+
+    #: Memory-ledger account the stored payload is registered under.
+    ledger_account = "buffer.synthetic"
+    #: Linear resolution reduction of the stored payload (1 = none).
+    decode_factor = 1
 
     def __init__(self, num_classes: int, ipc: int,
                  image_shape: tuple[int, int, int]) -> None:
@@ -36,10 +50,11 @@ class SyntheticBuffer:
         self.num_classes = int(num_classes)
         self.ipc = int(ipc)
         self.image_shape = tuple(image_shape)
-        self.images = np.zeros((num_classes * ipc, *image_shape), dtype=np.float32)
+        self.images = np.zeros((num_classes * ipc, *self.storage_shape),
+                               dtype=np.float32)
         self.labels = np.repeat(np.arange(num_classes, dtype=np.int64), ipc)
-        track_object("buffer.synthetic", self,
-                     self.images.nbytes + self.labels.nbytes)
+        self._ledger_key = track_object(self.ledger_account, self,
+                                        self.memory_bytes)
 
     # -- capacity ----------------------------------------------------------
     def __len__(self) -> int:
@@ -50,9 +65,35 @@ class SyntheticBuffer:
         return len(self.labels)
 
     @property
+    def storage_shape(self) -> tuple[int, ...]:
+        """Per-sample shape of the *stored* payload (``image_shape`` here)."""
+        return self.image_shape
+
+    @property
     def memory_bytes(self) -> int:
-        """Bytes of image payload held on the device."""
+        """Allocated bytes of the payload held on the device.
+
+        This is the single byte-accounting definition: the memory ledger
+        registration, :meth:`~repro.core.learner.OnDeviceLearner.
+        buffer_nbytes`, and the table1 Acc/MiB column all report exactly
+        this number.  The synthetic labels are structural — row
+        ``c * ipc + k`` belongs to class ``c`` by construction, so a device
+        need not store them — and are excluded.
+        """
         return self.images.nbytes
+
+    # -- decode ------------------------------------------------------------
+    def decode(self, payload: np.ndarray) -> np.ndarray:
+        """Map stored rows to full-resolution pixels (identity here)."""
+        return payload
+
+    def encode_grad(self, grad: np.ndarray) -> np.ndarray:
+        """Map a decoded-space gradient onto the storage (identity here)."""
+        return grad
+
+    def decoded_images(self, rows) -> np.ndarray:
+        """Full-resolution pixels of the given stored rows."""
+        return self.decode(self.images[rows])
 
     # -- indexing ----------------------------------------------------------
     def class_indices(self, c: int) -> np.ndarray:
@@ -102,7 +143,7 @@ class SyntheticBuffer:
                 self.images[rows[:take]] = x[chosen]
             missing = self.ipc - take
             if missing > 0:
-                shape = (missing, *self.image_shape)
+                shape = (missing, *self.storage_shape)
                 if members.size:
                     duplicates = rng.choice(members, size=missing, replace=True)
                     jitter = (rng.standard_normal(shape) * noise_scale * 0.1
@@ -122,6 +163,13 @@ class SyntheticBuffer:
         return {"images": self.images.copy(), "labels": self.labels.copy()}
 
     def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        factor = int(state.get("decode_factor", 1))
+        if factor != self.decode_factor:
+            # A factorized snapshot's pixels are meaningless at any other
+            # factor even when the raw shapes happen to line up.
+            raise ValueError(
+                f"buffer decode-factor mismatch: snapshot has f={factor}, "
+                f"buffer has f={self.decode_factor}")
         if state["images"].shape != self.images.shape:
             raise ValueError("buffer shape mismatch")
         if "labels" in state and not np.array_equal(state["labels"],
@@ -149,8 +197,7 @@ class RawBuffer:
         self.aux: dict[str, np.ndarray] = {}
         self.count = 0
         self.total_seen = 0
-        track_object("buffer.raw", self,
-                     self.images.nbytes + self.labels.nbytes)
+        self._ledger_key = track_object("buffer.raw", self, self.memory_bytes)
 
     def __len__(self) -> int:
         return self.count
@@ -161,11 +208,27 @@ class RawBuffer:
 
     @property
     def memory_bytes(self) -> int:
-        return self.images[: self.count].nbytes
+        """Allocated bytes of the buffer's device payload.
+
+        Full-capacity allocation — images, labels, and every aux metadata
+        column — regardless of occupancy: the device holds the whole
+        arrays, not just the filled slots.  This is the single definition
+        the memory ledger, ``buffer_nbytes()``, and the table1 Acc/MiB
+        column all report.
+        """
+        return (self.images.nbytes + self.labels.nbytes
+                + sum(int(v.nbytes) for v in self.aux.values()))
+
+    def _retrack(self) -> None:
+        """Refresh the ledger's ``buffer.raw`` entry after the allocated
+        payload changed (aux column growth, wholesale state restore)."""
+        default_ledger.record("buffer.raw", self._ledger_key,
+                              self.memory_bytes)
 
     def _ensure_aux(self, key: str) -> np.ndarray:
         if key not in self.aux:
             self.aux[key] = np.zeros(self.capacity, dtype=np.float32)
+            self._retrack()
         return self.aux[key]
 
     def add(self, image: np.ndarray, label: int, **aux: float) -> int:
@@ -219,3 +282,4 @@ class RawBuffer:
         self.aux = {key[len("aux."):]: np.array(values)
                     for key, values in state.items()
                     if key.startswith("aux.")}
+        self._retrack()

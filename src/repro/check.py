@@ -29,12 +29,20 @@ equivalent for this repo.  It runs, in order:
    where the probes admit it, falling back honestly where they don't),
    and a micro DECO learner segment must reproduce its serial
    fingerprint;
-9. a one-repeat pass of the micro-benchmarks (kernel cases, one condense
-   segment, the fused-FD comparison, the parallel scaling matrix, and the
-   serial-vs-tree reduction comparison), which also refreshes the counter
+9. the factorized-storage selfcheck
+   (``python -m repro.buffer.factorized_selfcheck``): the f=2 buffer's
+   payload must be exactly ``ceil(H/f)*ceil(W/f)/(H*W)`` of the f=1
+   payload, ``encode_grad`` must be the exact decode transpose, an f=2
+   condense segment must store byte-identical payloads under both
+   ``REPRO_FD_FUSE`` settings, and state round-trips must be
+   byte-for-byte with mismatched decode factors rejected;
+10. a one-repeat pass of the micro-benchmarks (kernel cases, one condense
+   segment, the fused-FD comparison, the parallel scaling matrix, the
+   serial-vs-tree reduction comparison, and the f=1 vs f=2 factorized
+   accuracy-per-MiB comparison), which also refreshes the counter
    snapshots attached to ``bench_results/micro_kernels.json`` and appends
    to the bench history;
-10. a bench-history regression dry-run (``python -m repro obs regress
+11. a bench-history regression dry-run (``python -m repro obs regress
    --dry-run``): the trajectory verdict is printed; regressions are
    reported but only fail ``repro-check`` when ``--strict-bench`` is set.
 
@@ -146,6 +154,14 @@ def main(argv: list[str] | None = None) -> int:
         failures += _run([sys.executable, "-m",
                           "repro.parallel.reduce_selfcheck"],
                          root, "deterministic reduction selfcheck") != 0
+        # Factorized-storage leg: the f=2 buffer's byte footprint must be
+        # exactly 1/f^2 of full resolution, decode/encode_grad must be an
+        # exact transpose pair, and an f=2 segment must be byte-identical
+        # under both REPRO_FD_FUSE settings (see
+        # repro.buffer.factorized_selfcheck).
+        failures += _run([sys.executable, "-m",
+                          "repro.buffer.factorized_selfcheck"],
+                         root, "factorized storage selfcheck") != 0
 
     if not args.skip_bench:
         bench_dir = root / "benchmarks" / "micro"
@@ -171,6 +187,9 @@ def main(argv: list[str] | None = None) -> int:
                               str(bench_dir / "bench_reduce.py"),
                               "--repeats", repeats], root,
                              "micro-bench tree reductions") != 0
+            failures += _run([sys.executable,
+                              str(bench_dir / "bench_factorized.py")], root,
+                             "micro-bench factorized storage") != 0
             # Trajectory verdict over the history the benches just
             # appended to.  A one-repeat smoke pass is noisy, so the
             # default is a dry run — visible, never fatal — unless the

@@ -95,6 +95,12 @@ def build_parser() -> argparse.ArgumentParser:
     t1.add_argument("--ipcs", nargs="+", type=int, default=[1, 5, 10, 50])
     t1.add_argument("--seeds", nargs="+", type=int, default=None,
                     help="override the trial seeds (default: profile seeds)")
+    t1.add_argument("--decode-factors", nargs="+", type=int, default=None,
+                    metavar="F",
+                    help="factorized-storage sweep: each F>1 adds a DECO "
+                         "column stored at 1/F resolution with F^2 x the "
+                         "IpC — same bytes, F^2 more images (default: the "
+                         "profile's factors)")
 
     t2 = sub.add_parser("table2", help="Table II: condensation time")
     t2.add_argument("--ipcs", nargs="+", type=int, default=[1, 5, 10, 50])
@@ -125,6 +131,10 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--ipc", type=int, default=10)
     run.add_argument("--condenser", default="deco",
                      choices=("deco", "dc", "dsa", "dm"))
+    run.add_argument("--decode-factor", type=int, default=None, metavar="F",
+                     help="store the synthetic buffer at 1/F linear "
+                          "resolution, decoded by bilinear upsample "
+                          "(deco only; default 1 = full resolution)")
     run.add_argument("--checkpoint-every", type=int, default=None,
                      metavar="K",
                      help="checkpoint learner state into --checkpoint-dir "
@@ -252,9 +262,12 @@ def _dispatch(args: argparse.Namespace) -> str:
         from .experiments.profiles import get_profile
         seeds = (tuple(args.seeds) if args.seeds is not None
                  else tuple(range(get_profile(args.profile).num_seeds)))
+        factors = (tuple(args.decode_factors)
+                   if args.decode_factors is not None else None)
         result = run_table1(datasets=tuple(args.datasets),
                             ipcs=tuple(args.ipcs), profile=args.profile,
-                            seeds=seeds, jobs=args.jobs, **ckpt)
+                            seeds=seeds, decode_factors=factors,
+                            jobs=args.jobs, **ckpt)
         return format_table1(result)
     if args.command == "table2":
         result = run_table2(ipcs=tuple(args.ipcs),
@@ -293,6 +306,7 @@ def _dispatch(args: argparse.Namespace) -> str:
                              "--checkpoint-dir")
         result = run_method(prepared, args.method, args.ipc, seed=args.seed,
                             condenser_name=args.condenser,
+                            decode_factor=args.decode_factor,
                             checkpoint_every=args.checkpoint_every,
                             checkpoint_dir=args.checkpoint_dir,
                             resume=args.resume)

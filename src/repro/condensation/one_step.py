@@ -121,7 +121,7 @@ class OneStepMatcher(CondensationMethod):
         # positions come from one vectorized binary search.
         local_active = np.searchsorted(rows, active_rows)
 
-        sub_tensor = Tensor(buffer.images[rows], requires_grad=True)
+        sub_tensor = Tensor(buffer.decoded_images(rows), requires_grad=True)
         deployed_model.zero_grad()
         # Only the gradient w.r.t. the buffer pixels is consumed, so the
         # deployed encoder's parameter gradients are pure waste — freeze
@@ -155,8 +155,14 @@ class OneStepMatcher(CondensationMethod):
             real_w = None
 
         syn_labels = buffer.labels[active_rows]
-        syn_pixels = Tensor(buffer.images[active_rows].copy(), requires_grad=True)
-        optimizer = SGD([syn_pixels], self.syn_lr, momentum=self.syn_momentum)
+        # The optimization variable is the *stored* payload; the matching
+        # passes below consume its decoded (full-resolution) view.  For the
+        # base buffer decode is the identity, so syn_x IS syn_store.data and
+        # every cache-scope / note_write keyed on it behaves exactly as
+        # before; a factorized buffer interposes its upsample here and gets
+        # the transposed gradient back through encode_grad.
+        syn_store = Tensor(buffer.images[active_rows].copy(), requires_grad=True)
+        optimizer = SGD([syn_store], self.syn_lr, momentum=self.syn_momentum)
 
         stats = CondensationStats()
         use_disc = self.alpha != 0.0 and deployed_model is not None
@@ -164,10 +170,11 @@ class OneStepMatcher(CondensationMethod):
         matching_passes = 0
         fused_evals = 0
         # One StepCache scope per iteration: pass.g_syn and the FD passes
-        # all read the same syn_pixels block, so its first-layer im2col is
+        # all read the same decoded block, so its first-layer im2col is
         # derived once and shared.  The scope is keyed by array identity;
-        # SGD.step rebinds syn_pixels.data to a fresh array, so the scope
-        # (and an explicit note_write) end before the optimizer runs.
+        # syn_x is rebuilt from the freshly stepped storage each iteration,
+        # so the scope (and an explicit note_write) end before the optimizer
+        # runs.
         caching = (kernels.fast_kernels_enabled() and kernels.fd_fuse_enabled())
         # Segment-level scope on the real batch: when the whole real set fits
         # in one batch, _real_batch returns real_x itself every iteration, so
@@ -184,7 +191,8 @@ class OneStepMatcher(CondensationMethod):
                 batch_x, batch_y, batch_w = self._real_batch(
                     real_x, real_y, real_w, rng)
 
-                step_scope = (default_step_cache.scope(syn_pixels.data)
+                syn_x = buffer.decode(syn_store.data)
+                step_scope = (default_step_cache.scope(syn_x)
                               if caching else contextlib.nullcontext())
                 with step_scope:
                     with obs.span("pass.g_real"):
@@ -192,13 +200,13 @@ class OneStepMatcher(CondensationMethod):
                             model, batch_x, batch_y, batch_w)
                     with obs.span("pass.g_syn"):
                         g_syn, _ = parameter_gradients(
-                            model, syn_pixels.data, syn_labels)
+                            model, syn_x, syn_labels)
                     with obs.span("pass.grad_distance"):
                         distance, direction = distance_and_grad_wrt_gsyn(
                             g_syn, g_real, metric=self.metric)
                     fd_stats: dict = {}
                     matching_grad = finite_difference_matching_grad(
-                        model, syn_pixels.data, syn_labels, direction,
+                        model, syn_x, syn_labels, direction,
                         epsilon_numerator=self.epsilon_numerator,
                         stats_out=fd_stats)
                     total_grad = matching_grad
@@ -213,8 +221,8 @@ class OneStepMatcher(CondensationMethod):
                     if use_disc:
                         # Keep the deployed model's view of the buffer
                         # current: the non-active rows come from the buffer,
-                        # the active rows from the pixels being optimized.
-                        buffer.images[active_rows] = syn_pixels.data
+                        # the active rows from the payload being optimized.
+                        buffer.images[active_rows] = syn_store.data
                         with obs.span("pass.discrimination"):
                             disc_grad, disc_loss = self._discrimination_grad(
                                 buffer, active_rows, deployed_model, rng)
@@ -222,8 +230,11 @@ class OneStepMatcher(CondensationMethod):
                         stats.forward_backward_passes += 1
                         stats.extra["discrimination_loss"] = disc_loss
 
-                    default_step_cache.note_write(syn_pixels.data)
-                syn_pixels.grad = np.asarray(total_grad, dtype=np.float32)
+                    default_step_cache.note_write(syn_x)
+                # total_grad lives in decoded space; pull it back onto the
+                # storage through the decode transpose before stepping.
+                syn_store.grad = np.asarray(buffer.encode_grad(total_grad),
+                                            dtype=np.float32)
                 optimizer.step()
                 optimizer.zero_grad()
 
@@ -233,5 +244,5 @@ class OneStepMatcher(CondensationMethod):
         stats.matching_loss /= max(stats.iterations, 1)
         stats.extra["matching_passes"] = matching_passes
         stats.extra["fused"] = fused_evals
-        buffer.images[active_rows] = syn_pixels.data
+        buffer.images[active_rows] = syn_store.data
         return stats

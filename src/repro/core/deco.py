@@ -131,10 +131,23 @@ class DECOLearner(OnDeviceLearner):
         return self.buffer.as_training_set()
 
     def _extra_state(self) -> dict[str, np.ndarray]:
-        return {"buffer_images": self.buffer.images.copy(),
-                "buffer_labels": self.buffer.labels.copy()}
+        state = {"buffer_images": self.buffer.images.copy(),
+                 "buffer_labels": self.buffer.labels.copy()}
+        factor = getattr(self.buffer, "decode_factor", 1)
+        if factor != 1:
+            # Stored payload is reduced-resolution; stamp the factor so a
+            # resume into a mismatched buffer geometry fails loudly instead
+            # of reinterpreting the pixels.
+            state["buffer_decode_factor"] = np.asarray(factor, dtype=np.int64)
+        return state
 
     def _load_extra_state(self, state: dict[str, np.ndarray]) -> None:
+        factor = int(state.get("buffer_decode_factor", 1))
+        if factor != getattr(self.buffer, "decode_factor", 1):
+            raise ValueError(
+                f"checkpoint buffer decode-factor mismatch: snapshot has "
+                f"f={factor}, learner buffer has "
+                f"f={getattr(self.buffer, 'decode_factor', 1)}")
         if state["buffer_images"].shape != self.buffer.images.shape:
             raise ValueError("checkpoint buffer shape mismatch")
         labels = state.get("buffer_labels")

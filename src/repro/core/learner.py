@@ -48,6 +48,13 @@ class LearnerConfig:
         segment's ``memory`` telemetry event reports the footprint against
         it and a breach bumps the ``memory.budget_exceeded`` counter — the
         run itself is never throttled.
+    decode_factor:
+        Linear resolution reduction of the condensed buffer's stored
+        payload (DREAM-style factorized storage).  ``1`` stores full-
+        resolution pixels; ``f > 1`` stores ``(C, ceil(H/f), ceil(W/f))``
+        and decodes by bilinear upsample, fitting ``f**2`` more images per
+        class in the same byte budget.  Only meaningful for the DECO
+        learner's :class:`~repro.buffer.FactorizedSyntheticBuffer`.
     """
 
     beta: int = 10
@@ -58,12 +65,15 @@ class LearnerConfig:
     batch_size: int = 128
     max_update_steps: int | None = None
     memory_budget_bytes: int | None = None
+    decode_factor: int = 1
 
     def __post_init__(self) -> None:
         if self.beta < 1:
             raise ValueError("beta must be >= 1")
         if self.train_epochs < 1:
             raise ValueError("train_epochs must be >= 1")
+        if self.decode_factor < 1:
+            raise ValueError("decode_factor must be >= 1")
 
 
 @dataclass
@@ -133,13 +143,19 @@ class OnDeviceLearner(abc.ABC):
     def buffer_nbytes(self) -> int:
         """Bytes of the learner's persistent sample store.
 
-        The default covers any learner with a ``self.buffer`` exposing
-        ``images``/``labels`` ndarrays (plus ``aux`` metadata columns);
+        Delegates to the buffer's own ``memory_bytes`` — the single
+        byte-accounting definition shared with the memory ledger and the
+        table1 Acc/MiB column — so factorized storage reports its reduced
+        payload, not the decoded view.  Buffers without a ``memory_bytes``
+        fall back to reflection over ``images``/``labels``/``aux``;
         learners with a different store override this.
         """
         buffer = getattr(self, "buffer", None)
         if buffer is None:
             return 0
+        reported = getattr(buffer, "memory_bytes", None)
+        if reported is not None:
+            return int(reported)
         total = 0
         for name in ("images", "labels"):
             arr = getattr(buffer, name, None)

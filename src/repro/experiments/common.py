@@ -17,6 +17,7 @@ matching how the paper runs "five trials with different random seeds".
 from __future__ import annotations
 
 import copy
+import dataclasses
 import os
 import time
 from dataclasses import dataclass, field
@@ -24,7 +25,9 @@ from typing import Sequence
 
 import numpy as np
 
+from .. import obs
 from ..buffer.buffer import RawBuffer, SyntheticBuffer
+from ..buffer.factorized import FactorizedSyntheticBuffer
 from ..buffer.selection import (EXTRA_STRATEGY_NAMES, STRATEGY_NAMES,
                                 make_strategy)
 from ..condensation import CONDENSER_NAMES, CondensationMethod, make_condenser
@@ -202,7 +205,8 @@ def run_method(prepared: PreparedExperiment, method: str, ipc: int, *,
                config: LearnerConfig | None = None,
                checkpoint_every: int | None = None,
                checkpoint_dir: str | os.PathLike | None = None,
-               resume: bool = False) -> MethodResult:
+               resume: bool = False,
+               decode_factor: int | None = None) -> MethodResult:
     """Run one on-device method over a freshly ordered stream.
 
     Parameters
@@ -235,6 +239,12 @@ def run_method(prepared: PreparedExperiment, method: str, ipc: int, *,
         ``checkpoint()`` captures their full state, e.g. DECO).  Note the
         ``condense_seconds``/``wall_seconds`` of a resumed run only cover
         the portion executed after the restore.
+    decode_factor:
+        Factorized condensed storage (DREAM-style): store the synthetic
+        buffer at ``1/f`` linear resolution and decode by bilinear
+        upsample (``method="deco"`` with the native ``"deco"`` condenser
+        only — the DC/DSA/DM baselines write raw pixels and cannot decode).
+        ``None`` takes the factor from ``config`` (default 1).
     """
     if method not in METHOD_NAMES:
         raise KeyError(f"unknown method {method!r}; available: {METHOD_NAMES}")
@@ -242,6 +252,11 @@ def run_method(prepared: PreparedExperiment, method: str, ipc: int, *,
         raise KeyError(f"unknown condenser {condenser_name!r}")
     if ipc < 1:
         raise ValueError("ipc must be >= 1")
+
+    # Per-run peak: the ledger's high-water gauge is process-wide, so a
+    # serial sweep would otherwise report an earlier, larger configuration's
+    # peak for every later point.
+    obs.default_ledger.reset_high_water()
 
     profile = prepared.profile
     dataset = prepared.dataset
@@ -251,6 +266,14 @@ def run_method(prepared: PreparedExperiment, method: str, ipc: int, *,
                          **stream_settings(prepared.dataset_name, profile.name))
     model = prepared.fresh_model()
     config = config or prepared.learner_config()
+    if decode_factor is not None and decode_factor != config.decode_factor:
+        config = dataclasses.replace(config, decode_factor=int(decode_factor))
+    factor = config.decode_factor
+    if factor != 1 and (method != "deco" or condenser_name != "deco"):
+        raise ValueError(
+            "decode_factor > 1 requires method='deco' with the native "
+            "'deco' condenser; the DC/DSA/DM baselines and raw-replay "
+            "buffers operate on full-resolution pixels")
 
     timed: TimedCondenser | None = None
     start = time.perf_counter()
@@ -259,7 +282,12 @@ def run_method(prepared: PreparedExperiment, method: str, ipc: int, *,
         if condenser_name == "deco":
             kwargs.setdefault("iterations", profile.condense_iterations)
         timed = TimedCondenser(make_condenser(condenser_name, **kwargs))
-        buffer = SyntheticBuffer(dataset.num_classes, ipc, dataset.image_shape())
+        if factor != 1:
+            buffer = FactorizedSyntheticBuffer(
+                dataset.num_classes, ipc, dataset.image_shape(), factor=factor)
+        else:
+            buffer = SyntheticBuffer(dataset.num_classes, ipc,
+                                     dataset.image_shape())
         learner = DECOLearner(
             model, buffer, condenser=timed,
             labeler=labeler or MajorityVotePseudoLabeler(labeler_threshold),

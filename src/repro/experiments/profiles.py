@@ -55,6 +55,12 @@ class ExperimentProfile:
         state (buffer payload + deployed model).  Observational — the
         per-segment ``memory`` telemetry events and the accuracy-per-byte
         report columns are judged against it; nothing is throttled.
+    decode_factors:
+        Factorized-storage sweep of the table1 report: for every factor
+        ``f > 1`` an extra DECO column runs with the synthetic buffer
+        stored at ``1/f`` linear resolution and ``f**2 x`` the IpC — the
+        equal-byte-budget comparison (accuracy per MiB) DREAM-style
+        multi-formation storage is about.
     """
 
     name: str
@@ -68,6 +74,7 @@ class ExperimentProfile:
     offline_condense_rounds: int
     num_seeds: int
     memory_budget_mb: int = 64
+    decode_factors: tuple[int, ...] = (1, 2)
 
 
 _PROFILES = {

@@ -18,6 +18,7 @@ from ..buffer.selection import STRATEGY_NAMES
 from ..utils.metrics import mean_and_std, relative_improvement
 from .common import prepare_experiment
 from .grid import begin_progress, prepared_cache_dir, run_method_grid
+from .profiles import get_profile
 from .reporting import format_mean_std, format_table
 
 __all__ = ["Table1Cell", "Table1Result", "run_table1", "format_table1",
@@ -44,7 +45,13 @@ class Table1Cell:
 
 @dataclass
 class Table1Result:
-    """All cells of Table I, keyed (dataset, ipc, method)."""
+    """All cells of Table I, keyed (dataset, ipc, method).
+
+    Factorized-storage columns are keyed by the pseudo-method name
+    ``deco@f{f}``: the run stores the buffer at ``1/f`` linear resolution
+    with ``f**2 x`` the row's IpC (equal byte budget), but the cell lives
+    under the row's base IpC so it reads as a same-budget comparison.
+    """
 
     cells: dict[tuple[str, int, str], Table1Cell] = field(default_factory=dict)
     upper_bounds: dict[str, float] = field(default_factory=dict)
@@ -54,6 +61,7 @@ class Table1Result:
     datasets: tuple[str, ...] = ()
     ipcs: tuple[int, ...] = ()
     baselines: tuple[str, ...] = ()
+    decode_factors: tuple[int, ...] = (1,)
 
     def cell(self, dataset: str, ipc: int, method: str) -> Table1Cell:
         return self.cells[(dataset, ipc, method)]
@@ -90,6 +98,7 @@ def run_table1(*, datasets: Sequence[str] = DEFAULT_DATASETS,
                profile: str = "smoke",
                seeds: Sequence[int] = (0,),
                include_upper_bound: bool = True,
+               decode_factors: Sequence[int] | None = None,
                jobs: int = 1,
                checkpoint_dir=None,
                resume: bool = False,
@@ -102,9 +111,17 @@ def run_table1(*, datasets: Sequence[str] = DEFAULT_DATASETS,
     journaled points of an interrupted earlier run.  ``progress`` (a
     :class:`repro.obs.SweepProgress`) streams one line per completed grid
     point, labelled per dataset.
+
+    ``decode_factors`` (default: the profile's) adds one extra DECO column
+    per factor ``f > 1``, run with factorized storage at ``f**2 x`` the
+    row's IpC — same byte budget, ``f**2`` more synthetic images.
     """
+    factors = (tuple(decode_factors) if decode_factors is not None
+               else get_profile(profile).decode_factors)
+    extra_factors = tuple(f for f in factors if f > 1)
     result = Table1Result(datasets=tuple(datasets), ipcs=tuple(ipcs),
-                          baselines=tuple(baselines))
+                          baselines=tuple(baselines),
+                          decode_factors=tuple(sorted({1, *factors})))
     cache_dir = prepared_cache_dir(checkpoint_dir)
     for dataset in datasets:
         prepared = prepare_experiment(dataset, profile, seed=0,
@@ -113,10 +130,20 @@ def run_table1(*, datasets: Sequence[str] = DEFAULT_DATASETS,
                 for ipc in ipcs
                 for method in list(baselines) + ["deco"]
                 for seed in seeds]
+        grid += [(ipc, f"deco@f{f}", seed)
+                 for ipc in ipcs for f in extra_factors for seed in seeds]
         if include_upper_bound:
             grid += [(1, "upper_bound", s) for s in seeds[:1]]
-        configs = [{"method": method, "ipc": ipc, "seed": seed}
-                   for ipc, method, seed in grid]
+        configs = []
+        for ipc, method, seed in grid:
+            if method.startswith("deco@f"):
+                f = int(method[len("deco@f"):])
+                # Equal byte budget: 1/f**2 the bytes per image buys f**2
+                # times the images per class.
+                configs.append({"method": "deco", "ipc": ipc * f * f,
+                                "seed": seed, "decode_factor": f})
+            else:
+                configs.append({"method": method, "ipc": ipc, "seed": seed})
         begin_progress(progress, len(configs), label=f"table1/{dataset}",
                        jobs=jobs)
         runs = run_method_grid(
@@ -142,9 +169,18 @@ def run_table1(*, datasets: Sequence[str] = DEFAULT_DATASETS,
 
 
 def format_table1(result: Table1Result) -> str:
-    """Render the result in the paper's Table I layout."""
+    """Render the result in the paper's Table I layout.
+
+    Extra decode factors add two columns each: the factorized DECO
+    accuracy (same byte budget as the row's IpC, ``f**2 x`` the images)
+    and its accuracy per MiB next to the f=1 ``Acc/MiB`` column.
+    """
+    extra_factors = tuple(f for f in result.decode_factors if f > 1)
     headers = (["Dataset", "IpC"] + list(result.baselines)
-               + ["DECO (Ours)", "Improvement", "Acc/MiB", "Upper Bound"])
+               + ["DECO (Ours)", "Improvement", "Acc/MiB"])
+    for f in extra_factors:
+        headers += [f"DECO f={f}", f"Acc/MiB f={f}"]
+    headers.append("Upper Bound")
     rows = []
     for dataset in result.datasets:
         for i, ipc in enumerate(result.ipcs):
@@ -157,6 +193,12 @@ def format_table1(result: Table1Result) -> str:
             row.append(f"{result.improvement(dataset, ipc):+.1f}%")
             per_mib = result.accuracy_per_mib(dataset, ipc, "deco")
             row.append("-" if per_mib != per_mib else f"{per_mib:.1f}")
+            for f in extra_factors:
+                cell = result.cells.get((dataset, ipc, f"deco@f{f}"))
+                row.append("-" if cell is None
+                           else format_mean_std(cell.mean, cell.std))
+                per_mib = result.accuracy_per_mib(dataset, ipc, f"deco@f{f}")
+                row.append("-" if per_mib != per_mib else f"{per_mib:.1f}")
             ub = result.upper_bounds.get(dataset)
             row.append(f"{ub * 100:.2f}%" if (i == 0 and ub is not None) else "")
             rows.append(row)

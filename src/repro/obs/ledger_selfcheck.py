@@ -114,7 +114,7 @@ def main() -> int:
     with default_ledger.deep_audit(tolerance=0.10) as report:
         audit_buffer = SyntheticBuffer(10, 40, (3, 32, 32))
     _check(report.account_deltas.get("buffer.synthetic", 0)
-           == audit_buffer.images.nbytes + audit_buffer.labels.nbytes,
+           == audit_buffer.memory_bytes,
            "buffer.synthetic account did not record the buffer payload")
     _check(report.ok,
            f"ledger delta {report.ledger_delta} vs tracemalloc "

@@ -9,6 +9,9 @@ long-lived allocation class in the repo:
 account                what it holds
 =====================  ====================================================
 ``buffer.synthetic``   :class:`~repro.buffer.buffer.SyntheticBuffer` payloads
+``buffer.synthetic.factorized``  factorized (reduced-resolution) synthetic
+                       payloads (:class:`~repro.buffer.factorized.
+                       FactorizedSyntheticBuffer`)
 ``buffer.raw``         :class:`~repro.buffer.buffer.RawBuffer` payloads
 ``model.params``       deployed/scratch model parameter arrays
 ``shm.pack``           shared-memory sweep packs (owner side)
@@ -172,6 +175,18 @@ class MemoryLedger:
         """Total tracked resident bytes (disk accounts excluded)."""
         return sum(v for a, v in self.totals(pull=pull).items()
                    if not a.startswith(DISK_ACCOUNT_PREFIX))
+
+    def reset_high_water(self) -> int:
+        """Rebase the high-water gauge to the *current* recorded total.
+
+        The gauge is process-wide, so in a serial sweep a later, smaller
+        configuration would otherwise inherit the peak of an earlier, larger
+        one.  Callers that want per-run peaks (``run_method``) call this at
+        run start; the returned value is the new baseline.
+        """
+        with self._lock:
+            self.high_water_bytes = self._ram_total
+            return self.high_water_bytes
 
     def entry_counts(self) -> dict[str, int]:
         """Recorded entries per account (providers have no entries)."""

@@ -58,6 +58,16 @@ def save_learner_checkpoint(directory: str | os.PathLike, learner, *,
         "rng_state": get_rng_state(learner.rng),
         "diagnostics": json_sanitize(history.diagnostics),
     }
+    buffer = getattr(learner, "buffer", None)
+    if buffer is not None:
+        # Buffer geometry as inspectable metadata (`repro checkpoints`);
+        # the decode factor also rides in extra.buffer_decode_factor where
+        # _load_extra_state validates it against the resuming buffer.
+        meta["buffer"] = {
+            "kind": type(buffer).__name__,
+            "decode_factor": int(getattr(buffer, "decode_factor", 1)),
+            "memory_bytes": int(getattr(buffer, "memory_bytes", 0)),
+        }
     return write_checkpoint(_checkpoint_base(pathlib.Path(directory),
                                              segment_index),
                             kind=KIND, arrays=arrays, meta=meta)

@@ -149,8 +149,17 @@ class TestRawBuffer:
         assert x.shape == (1, *SHAPE)
         np.testing.assert_array_equal(y, [3])
 
-    def test_memory_bytes_tracks_occupancy(self):
+    def test_memory_bytes_is_allocated_capacity(self):
+        # memory_bytes reports the *allocated* payload (what the device
+        # actually holds), not occupancy: full-capacity images + labels.
         buf = RawBuffer(4, SHAPE)
-        assert buf.memory_bytes == 0
+        expected = 4 * 16 * 4 + 4 * 8  # float32 images + int64 labels
+        assert buf.memory_bytes == expected
         buf.add(np.zeros(SHAPE, dtype=np.float32), 0)
-        assert buf.memory_bytes == 16 * 4
+        assert buf.memory_bytes == expected  # occupancy doesn't change it
+
+    def test_memory_bytes_counts_aux_columns(self):
+        buf = RawBuffer(4, SHAPE)
+        base = buf.memory_bytes
+        buf.add(np.zeros(SHAPE, dtype=np.float32), 0, confidence=0.5)
+        assert buf.memory_bytes == base + 4 * 4  # one float32 aux column

@@ -169,7 +169,11 @@ class TestDefaultLedgerWiring:
 
         before = default_ledger.totals(pull=False).get("buffer.synthetic", 0)
         buf = SyntheticBuffer(2, 3, (3, 8, 8))
-        payload = buf.images.nbytes + buf.labels.nbytes
+        # The tracked payload is memory_bytes — the stored pixels; the
+        # structural labels (row c*ipc+k is class c by construction) are
+        # excluded from the accounting.
+        payload = buf.memory_bytes
+        assert payload == buf.images.nbytes
         after = default_ledger.totals(pull=False)["buffer.synthetic"]
         assert after == before + payload
         del buf
