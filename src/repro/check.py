@@ -14,6 +14,11 @@ equivalent for this repo.  It runs, in order:
 5. the observability selfcheck (``python -m repro.obs.selfcheck``): a
    2-job grid runs with telemetry on; its merged worker shards must
    aggregate to the serial run's counters, byte-deterministically;
+5b. the numerical-health selfcheck (``python -m
+   repro.obs.health_selfcheck``): an injected NaN in a matcher pass must
+   be detected and attributed within one segment under every policy, a
+   clean micro run must record zero incidents, and ``repro obs report``
+   must render a self-contained HTML report from its telemetry;
 6. the fused-FD selfcheck (``python -m repro.condensation.fd_selfcheck``):
    the lane-grouped ±ε evaluator must be byte-identical to the sequential
    two-pass path with clean probe/verification counters, and a micro
@@ -133,6 +138,13 @@ def main(argv: list[str] | None = None) -> int:
         # run's (see repro.obs.selfcheck).
         failures += _run([sys.executable, "-m", "repro.obs.selfcheck"],
                          root, "observability selfcheck") != 0
+        # Health leg: an injected NaN in a matcher pass must be caught and
+        # attributed within one segment under every policy, a clean micro
+        # run must record zero incidents, and the run report must render
+        # self-contained (see repro.obs.health_selfcheck).
+        failures += _run([sys.executable, "-m",
+                          "repro.obs.health_selfcheck"],
+                         root, "numerical-health selfcheck") != 0
         # Fused-FD leg: the lane-grouped ±ε evaluator must reproduce the
         # sequential bytes with clean verification counters, and fused vs.
         # unfused segments must condense identical pixels (see

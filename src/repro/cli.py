@@ -170,6 +170,19 @@ def build_parser() -> argparse.ArgumentParser:
                      metavar="OUT.json",
                      help="output path (default: "
                           "<run_dir>/trace.chrome.json)")
+    rep = obs_sub.add_parser("report",
+                             help="render a telemetry run as one "
+                                  "self-contained HTML report (tables, "
+                                  "timelines, health incidents)")
+    rep.add_argument("trace", type=pathlib.Path,
+                     help="trace.jsonl file or the run directory "
+                          "written by --telemetry")
+    rep.add_argument("-o", "--out", type=pathlib.Path, default=None,
+                     metavar="OUT",
+                     help="output path (default: <run_dir>/report.html)")
+    rep.add_argument("--json", action="store_true", dest="as_json",
+                     help="write the report document as JSON instead "
+                          "of HTML")
     reg = obs_sub.add_parser("regress",
                              help="compare the newest bench-history entries "
                                   "against their trailing baselines")
@@ -230,6 +243,11 @@ def _dispatch(args: argparse.Namespace) -> str:
                 lines.append(f"  WARNING: {len(problems)} schema problem(s), "
                              f"e.g. {problems[0]}")
             return "\n".join(lines)
+        if args.action == "report":
+            from .obs.report import write_report
+            out = write_report(args.trace, args.out, as_json=args.as_json)
+            kind = "JSON" if args.as_json else "HTML"
+            return f"self-contained {kind} run report written to {out}"
         try:
             if getattr(args, "as_json", False):
                 from .obs import summarize_trace_json

@@ -35,6 +35,7 @@ __all__ = [
     "input_gradient",
     "distance_and_grad_wrt_gsyn",
     "finite_difference_matching_grad",
+    "gradient_cosine",
     "fd_fuse_stats",
     "reset_fd_fuse_stats",
     "clear_fd_fuse_verdicts",
@@ -112,6 +113,25 @@ def distance_and_grad_wrt_gsyn(g_syn: Sequence[np.ndarray],
     distance.backward()
     grads = [np.zeros_like(t.data) if t.grad is None else t.grad for t in wrapped]
     return distance.item(), grads
+
+
+def gradient_cosine(g_syn: Sequence[np.ndarray],
+                    g_real: Sequence[np.ndarray]) -> float:
+    """Cosine between the flattened synthetic and real gradient stacks.
+
+    The condensation-quality scalar: how well ``g_syn`` tracks ``g_real``
+    over all layers at once — the quantity gradient matching optimizes.
+    Both gradient lists are already materialized by the matching pass, so
+    this costs three dot products.  NaN when either stack is zero or
+    non-finite.
+    """
+    dot = sum(float(np.vdot(s, r)) for s, r in zip(g_syn, g_real))
+    syn_sq = sum(float(np.vdot(s, s)) for s in g_syn)
+    real_sq = sum(float(np.vdot(r, r)) for r in g_real)
+    denom = float(np.sqrt(syn_sq) * np.sqrt(real_sq))
+    if not np.isfinite(dot) or not np.isfinite(denom) or denom == 0.0:
+        return float("nan")
+    return dot / denom
 
 
 # ----------------------------------------------------------------------
@@ -370,6 +390,15 @@ def _fd_matching_grad(model, syn_x, syn_y, direction, *, augmentation,
     if len(params) != len(direction):
         raise ValueError("direction list does not match model parameters")
     norm = float(np.sqrt(sum(float((d ** 2).sum()) for d in direction)))
+    if not obs.get_monitor().check("fd.direction_norm", norm):
+        # skip-step: a non-finite direction cannot produce a usable FD
+        # step; hand back a zero matching gradient (like the norm == 0
+        # case) so the caller's update stays finite.  Under ``record``
+        # the check returns True and the bytes below are unchanged.
+        if stats_out is not None:
+            stats_out["passes"] = 0
+            stats_out["fused"] = False
+        return np.zeros_like(np.asarray(syn_x, dtype=np.float32))
     if norm == 0.0:
         if stats_out is not None:
             stats_out["passes"] = 0

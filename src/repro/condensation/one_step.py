@@ -24,9 +24,11 @@ from ..nn.losses import feature_discrimination_loss
 from ..nn.optim import SGD
 from ..nn.tensor import Tensor
 from ..nn.workspace import default_step_cache
+from ..obs.health import EwmaTripwire
 from .base import CondensationMethod, CondensationStats, ModelFactory
 from .matching import (distance_and_grad_wrt_gsyn,
-                       finite_difference_matching_grad, parameter_gradients)
+                       finite_difference_matching_grad, gradient_cosine,
+                       parameter_gradients)
 
 __all__ = ["OneStepMatcher"]
 
@@ -81,6 +83,10 @@ class OneStepMatcher(CondensationMethod):
         self.epsilon_numerator = float(epsilon_numerator)
         self.rerandomize = bool(rerandomize)
         self.use_confidence = bool(use_confidence)
+        # Matching-loss divergence tripwire: per-instance state so sweep
+        # tasks (one fresh matcher each) stay counter-parity-clean between
+        # serial and forked-worker runs.
+        self._loss_tripwire = EwmaTripwire()
 
     # -- helpers -----------------------------------------------------------
     def _real_batch(self, real_x: np.ndarray, real_y: np.ndarray,
@@ -184,8 +190,10 @@ class OneStepMatcher(CondensationMethod):
         segment_scope = (default_step_cache.scope(real_x)
                          if caching and len(real_x) <= self.batch_size
                          else contextlib.nullcontext())
+        monitor = obs.get_monitor()
+        skipped_steps = 0
         with segment_scope:
-            for _ in range(self.iterations):
+            for it in range(self.iterations):
                 if self.rerandomize:
                     model = model_factory(rng)
                 batch_x, batch_y, batch_w = self._real_batch(
@@ -201,9 +209,31 @@ class OneStepMatcher(CondensationMethod):
                     with obs.span("pass.g_syn"):
                         g_syn, _ = parameter_gradients(
                             model, syn_x, syn_labels)
+                    if it == self.iterations - 1:
+                        # Quality scalar: how well the synthetic gradients
+                        # track the real ones — both stacks are already in
+                        # hand, so this is a few dot products per segment.
+                        stats.extra["grad_cosine"] = gradient_cosine(
+                            g_syn, g_real)
+                    # Health sentinels at the gradient hand-offs.  Under
+                    # the default ``record`` policy these only observe; a
+                    # ``False`` return (skip-step policy) drops the
+                    # iteration before the poisoned bytes can reach the
+                    # synthetic payload.
+                    if not (monitor.check("matcher.g_real", g_real,
+                                          iteration=it)
+                            and monitor.check("matcher.g_syn", g_syn,
+                                              iteration=it)):
+                        skipped_steps += 1
+                        continue
                     with obs.span("pass.grad_distance"):
                         distance, direction = distance_and_grad_wrt_gsyn(
                             g_syn, g_real, metric=self.metric)
+                    if not monitor.check_loss("matcher.matching_loss",
+                                              distance, self._loss_tripwire,
+                                              iteration=it):
+                        skipped_steps += 1
+                        continue
                     fd_stats: dict = {}
                     matching_grad = finite_difference_matching_grad(
                         model, syn_x, syn_labels, direction,
@@ -235,6 +265,11 @@ class OneStepMatcher(CondensationMethod):
                 # storage through the decode transpose before stepping.
                 syn_store.grad = np.asarray(buffer.encode_grad(total_grad),
                                             dtype=np.float32)
+                if not monitor.check("matcher.syn_grad", syn_store.grad,
+                                     iteration=it):
+                    skipped_steps += 1
+                    optimizer.zero_grad()
+                    continue
                 optimizer.step()
                 optimizer.zero_grad()
 
@@ -244,5 +279,7 @@ class OneStepMatcher(CondensationMethod):
         stats.matching_loss /= max(stats.iterations, 1)
         stats.extra["matching_passes"] = matching_passes
         stats.extra["fused"] = fused_evals
+        if skipped_steps:
+            stats.extra["health_skipped"] = skipped_steps
         buffer.images[active_rows] = syn_store.data
         return stats

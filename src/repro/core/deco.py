@@ -70,6 +70,53 @@ class DECOLearner(OnDeviceLearner):
         self.buffer = buffer
         self.condenser = condenser or OneStepMatcher()
         self.labeler = labeler or MajorityVotePseudoLabeler()
+        # Condensation-quality cursors (diagnostic only — deliberately not
+        # checkpointed): per-class condense counts and the segment of each
+        # class's last update, feeding the ``quality`` telemetry events.
+        self._class_updates = np.zeros(buffer.num_classes, dtype=np.int64)
+        self._class_last_update = np.full(buffer.num_classes, -1,
+                                          dtype=np.int64)
+
+    def _quality_event(self, segment: StreamSegment, result, before,
+                       active_rows: np.ndarray, stats) -> None:
+        """Per-segment condensation-quality accounts (telemetry only).
+
+        Per active class: pseudo-label precision against the stream's
+        hidden ground truth, kept-sample count, slot age (segments since
+        the class's previous condense), cumulative update count, and the
+        L2 drift of its slot block this segment; plus the buffer-wide slot
+        occupancy (share of class blocks ever condensed) and the matcher's
+        real/synthetic gradient cosine.
+        """
+        classes = sorted(int(c) for c in result.active_classes)
+        kept_labels = result.labels[result.keep]
+        kept_truth = segment.hidden_labels[result.keep]
+        precision, kept_counts, ages, updates, drifts = [], [], [], [], []
+        ipc = self.buffer.ipc
+        for pos, c in enumerate(classes):
+            mask = kept_labels == c
+            kept_counts.append(int(mask.sum()))
+            precision.append(float((kept_truth[mask] == c).mean())
+                             if mask.any() else float("nan"))
+            last = int(self._class_last_update[c])
+            ages.append(segment.index - last if last >= 0 else -1)
+            updates.append(int(self._class_updates[c]) + 1)
+            if before is not None:
+                block = slice(pos * ipc, (pos + 1) * ipc)
+                drifts.append(float(np.linalg.norm(
+                    self.buffer.images[active_rows][block] - before[block])))
+            else:
+                drifts.append(float("nan"))
+        occupied = self._class_updates > 0
+        occupied[classes] = True  # this segment's update counts
+        occupancy = float(occupied.mean())
+        obs.counter("quality.segments")
+        obs.event("quality", segment=segment.index, classes=classes,
+                  precision=precision, kept=kept_counts, ages=ages,
+                  updates=updates, drift_l2=drifts,
+                  slots_per_class=ipc, occupancy=occupancy,
+                  grad_cosine=stats.extra.get("grad_cosine", float("nan")),
+                  health_skipped=stats.extra.get("health_skipped", 0))
 
     def _vote_margin(self, result) -> float:
         """Tightest active-class margin over the voting threshold (Eq. 2).
@@ -117,6 +164,8 @@ class DECOLearner(OnDeviceLearner):
                     deployed_model=self.model)
             diag["matching_loss"] = stats.matching_loss
             diag["condense_passes"] = stats.forward_backward_passes
+            if "grad_cosine" in stats.extra:
+                diag["grad_cosine"] = stats.extra["grad_cosine"]
             if "discrimination_loss" in stats.extra:
                 diag["discrimination_loss"] = stats.extra["discrimination_loss"]
                 # Unwrap delegating wrappers (e.g. TimedCondenser) for alpha.
@@ -125,6 +174,14 @@ class DECOLearner(OnDeviceLearner):
             if before is not None:
                 diag["buffer_drift_l2"] = float(np.linalg.norm(
                     self.buffer.images[active_rows] - before))
+            if obs.enabled():
+                self._quality_event(segment, result, before, active_rows,
+                                    stats)
+            # Cursor bump after the event so its ages/updates reflect the
+            # state up to and including this segment.
+            for c in result.active_classes:
+                self._class_updates[c] += 1
+                self._class_last_update[c] = segment.index
         return diag
 
     def training_set(self) -> tuple[np.ndarray, np.ndarray]:

@@ -282,17 +282,21 @@ class OnDeviceLearner(abc.ABC):
                 trained_at = cursor["trained_at"]
                 obs.event("resume", segment=cursor["segment_index"],
                           samples_seen=samples_seen)
+        monitor = obs.get_monitor()
         for segment in stream:
             if segment.index < start_index:
                 continue  # fast-forward a resumed run past consumed segments
-            with obs.span("segment", segment=segment.index):
-                diag = self.observe_segment(segment)
-            samples_seen += len(segment)
-            retrained = (segment.index + 1) % self.config.beta == 0
-            if retrained:
-                with obs.span("retrain", segment=segment.index):
-                    self.update_model()
-                trained_at = segment.index
+            # Health incidents fired anywhere in this segment's work —
+            # matcher passes, optimizer updates — carry its index.
+            with monitor.segment_scope(segment.index):
+                with obs.span("segment", segment=segment.index):
+                    diag = self.observe_segment(segment)
+                samples_seen += len(segment)
+                retrained = (segment.index + 1) % self.config.beta == 0
+                if retrained:
+                    with obs.span("retrain", segment=segment.index):
+                        self.update_model()
+                    trained_at = segment.index
             if diag:
                 diag["segment"] = segment.index
                 history.diagnostics.append(diag)
@@ -329,8 +333,9 @@ class OnDeviceLearner(abc.ABC):
         # Fold in any segments after the last scheduled update, then do the
         # final evaluation the paper's "final average accuracy" reports.
         if trained_at != len(stream) - 1:
-            with obs.span("retrain", segment=len(stream) - 1):
-                self.update_model()
+            with monitor.segment_scope(len(stream) - 1):
+                with obs.span("retrain", segment=len(stream) - 1):
+                    self.update_model()
         if can_eval:
             history.record_eval(samples_seen,
                                 evaluate_accuracy(self.model, x_test, y_test))

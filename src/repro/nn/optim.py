@@ -14,6 +14,7 @@ from typing import Sequence
 
 import numpy as np
 
+from ..obs.health import get_monitor
 from .tensor import Tensor
 
 __all__ = ["Optimizer", "SGD", "Adam", "StepLR", "CosineLR"]
@@ -49,8 +50,14 @@ class SGD(Optimizer):
         self.momentum = float(momentum)
         self.weight_decay = float(weight_decay)
         self._velocity = [np.zeros_like(p.data) for p in self.params]
+        # Per-instance step counter: the health monitor samples update
+        # checks on it, so the cadence restarts with every fresh optimizer
+        # (one per train_model call / condense segment) and stays identical
+        # between serial and forked-worker sweep runs.
+        self._steps = 0
 
     def step(self) -> None:
+        self._steps += 1
         for p, v in zip(self.params, self._velocity):
             if p.grad is None:
                 continue
@@ -64,6 +71,16 @@ class SGD(Optimizer):
             else:
                 update = grad
             p.data = p.data - self.lr * update
+        monitor = get_monitor()
+        if monitor.update_due(self._steps):
+            # Sampled post-update sentinel: per-layer gradient-norm and
+            # update-to-weight gauges whose norms double as the finite
+            # check on the applied update.
+            updates = (self._velocity if self.momentum
+                       else [p.grad for p in self.params])
+            monitor.note_update("optim.sgd", [p.data for p in self.params],
+                                [p.grad for p in self.params], updates,
+                                self.lr, iteration=self._steps)
 
 
 class Adam(Optimizer):

@@ -13,7 +13,13 @@ Three pieces:
   accounts for every long-lived allocation class, high-water gauge, RSS
   sampling, tracemalloc deep audit.
 * :mod:`repro.obs.trace` — Chrome trace-event export (``repro obs
-  trace``): span flame + memory counter tracks, Perfetto-loadable.
+  trace``): span flame + memory counter tracks + learner instant events,
+  Perfetto-loadable.
+* :mod:`repro.obs.health` — numerical-health sentinels: sampled finite
+  checks at the matcher/optimizer hand-off points with ``record`` /
+  ``skip-step`` / ``raise`` policies and an EWMA loss tripwire.
+* :mod:`repro.obs.report` — self-contained single-file HTML run report
+  (``repro obs report``) with a ``--json`` twin.
 
 Hot-path call sites import the module functions (``obs.span``,
 ``obs.event``, ``obs.enabled``) rather than a registry object, so the
@@ -22,8 +28,12 @@ disabled path is a single flag check.
 
 from .export import (aggregate_worker_counters, config_digest,
                      merge_worker_shards, shard_path, worker_telemetry)
+from .health import (EwmaTripwire, HealthError, HealthIncident,
+                     HealthMonitor, get_monitor, health_stats, reset_health,
+                     scoped_policy)
 from .memory import (DeepAuditReport, MemoryLedger, default_ledger,
                      track_object)
+from .report import build_report_data, render_report_html, write_report
 from .progress import SweepProgress
 from .regress import (append_history, check_regressions, compare_history,
                       format_regress_report, load_history,
@@ -70,4 +80,15 @@ __all__ = [
     "export_trace",
     "validate_trace",
     "trace_stats",
+    "HealthError",
+    "HealthIncident",
+    "HealthMonitor",
+    "EwmaTripwire",
+    "get_monitor",
+    "health_stats",
+    "reset_health",
+    "scoped_policy",
+    "build_report_data",
+    "render_report_html",
+    "write_report",
 ]

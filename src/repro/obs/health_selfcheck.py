@@ -1,0 +1,223 @@
+"""End-to-end numerical-health self-check (health leg of repro-check).
+
+Run as ``python -m repro.obs.health_selfcheck``.  Proves the sentinels
+catch real corruption where it happens, stay silent on healthy runs, and
+that the run report renders from a real telemetry directory:
+
+1. **Injected NaN, every policy.**  A matcher pass against a model whose
+   first weight is poisoned with NaN must be detected *within the same
+   segment* under each policy: ``record`` logs incidents carrying the
+   op / segment / iteration and finishes the pass; ``skip-step`` drops
+   the poisoned updates so the synthetic buffer stays finite; ``raise``
+   throws :class:`~repro.obs.health.HealthError` with the same context.
+2. **Clean run is silent.**  The identical pass with a healthy model
+   records zero incidents — the sentinels never cry wolf.
+3. **Run report.**  A traced micro learner run renders through
+   ``repro obs report``: one self-contained HTML file (no ``<script``,
+   no ``href=``/``src=`` fetches) whose ``--json`` twin round-trips
+   through ``json.loads``; the Chrome trace export of the same run
+   validates and carries instant events.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+import tempfile
+import time
+
+import numpy as np
+
+INJECT_SEGMENT = 7
+
+
+class SelfCheckFailure(AssertionError):
+    pass
+
+
+def _check(condition: bool, message: str) -> None:
+    if not condition:
+        raise SelfCheckFailure(message)
+
+
+def _fixture(poison: bool):
+    """(buffer, classes, x, y, factory) micro condense fixture."""
+    from ..buffer.buffer import SyntheticBuffer
+    from ..nn.convnet import ConvNet
+
+    rng = np.random.default_rng(0)
+    shape, classes = (1, 8, 8), 3
+    buffer = SyntheticBuffer(classes, 2, shape)
+    buffer.init_random(np.random.default_rng(1), scale=0.5)
+    x = rng.standard_normal((24, *shape)).astype(np.float32)
+    y = np.repeat(np.arange(classes), 8).astype(np.int64)
+
+    def factory(factory_rng):
+        net = ConvNet(1, classes, 8, width=4, depth=2,
+                      rng=np.random.default_rng(2))
+        if poison:
+            net.parameters()[0].data.flat[0] = np.nan
+        return net
+
+    return buffer, list(range(classes)), x, y, factory
+
+
+def _condense(policy: str):
+    """One poisoned matcher pass under ``policy``; returns the monitor."""
+    from ..condensation.one_step import OneStepMatcher
+    from .health import get_monitor, scoped_policy
+
+    buffer, classes, x, y, factory = _fixture(poison=True)
+    monitor = get_monitor()
+    with scoped_policy(policy):
+        monitor.reset()
+        with monitor.segment_scope(INJECT_SEGMENT):
+            OneStepMatcher(iterations=2, alpha=0.0).condense(
+                buffer, classes, x, y, None, model_factory=factory,
+                rng=np.random.default_rng(3))
+        incidents = list(monitor.incidents)
+        monitor.reset()
+    return buffer, incidents
+
+
+def _check_injection() -> None:
+    from .health import HealthError, get_monitor, scoped_policy
+
+    print("[health-selfcheck] injected NaN under policy=record")
+    _, incidents = _condense("record")
+    _check(bool(incidents), "record policy logged no incidents for a "
+                            "NaN-poisoned matcher pass")
+    first = incidents[0]
+    _check(first.op.startswith(("matcher.", "fd.", "optim.")),
+           f"incident op {first.op!r} does not name a matcher hand-off")
+    _check(first.segment == INJECT_SEGMENT,
+           f"incident segment {first.segment!r} != {INJECT_SEGMENT} — not "
+           f"attributed within the injected segment")
+    _check(first.iteration is not None,
+           "incident carries no iteration context")
+    _check(first.kind == "nonfinite", f"unexpected kind {first.kind!r}")
+
+    print("[health-selfcheck] injected NaN under policy=skip-step")
+    buffer, incidents = _condense("skip-step")
+    _check(bool(incidents), "skip-step policy logged no incidents")
+    _check(bool(np.isfinite(buffer.images).all()),
+           "skip-step let NaN reach the synthetic buffer")
+
+    print("[health-selfcheck] injected NaN under policy=raise")
+    from ..condensation.one_step import OneStepMatcher
+    buffer, classes, x, y, factory = _fixture(poison=True)
+    monitor = get_monitor()
+    try:
+        with scoped_policy("raise"):
+            monitor.reset()
+            with monitor.segment_scope(INJECT_SEGMENT):
+                OneStepMatcher(iterations=2, alpha=0.0).condense(
+                    buffer, classes, x, y, None, model_factory=factory,
+                    rng=np.random.default_rng(3))
+        raise SelfCheckFailure("raise policy did not raise on injected NaN")
+    except HealthError as exc:
+        _check(exc.segment == INJECT_SEGMENT,
+               f"HealthError segment {exc.segment!r} != {INJECT_SEGMENT}")
+        _check(bool(exc.op), "HealthError carries no op")
+        _check(exc.iteration is not None,
+               "HealthError carries no iteration")
+    finally:
+        monitor.reset()
+
+
+def _check_clean() -> None:
+    from ..condensation.one_step import OneStepMatcher
+    from .health import get_monitor, scoped_policy
+
+    print("[health-selfcheck] clean pass records zero incidents")
+    buffer, classes, x, y, factory = _fixture(poison=False)
+    monitor = get_monitor()
+    with scoped_policy("record"):
+        monitor.reset()
+        OneStepMatcher(iterations=2, alpha=0.0).condense(
+            buffer, classes, x, y, None, model_factory=factory,
+            rng=np.random.default_rng(3))
+        count = len(monitor.incidents)
+        checks = monitor.stats()["checks"]
+        monitor.reset()
+    _check(count == 0, f"clean condense raised {count} incident(s)")
+    _check(checks > 0, "clean condense ran zero sentinel checks — the "
+                       "silence would be vacuous")
+
+
+def _check_report() -> None:
+    from .. import obs
+    from ..cli import main as cli_main
+    from ..experiments.common import prepare_experiment
+    from ..experiments.grid import run_method_grid
+    from .sinks import JsonlSink
+    from .telemetry import Telemetry, scoped_telemetry
+
+    print("[health-selfcheck] traced micro run -> report + trace export")
+    with tempfile.TemporaryDirectory(prefix="repro-health-check-") as tmp:
+        run_dir = pathlib.Path(tmp) / "trace"
+        prepared = prepare_experiment("core50", "micro", seed=0)
+        registry = Telemetry()
+        registry.enable(JsonlSink.for_run_dir(run_dir))
+        with scoped_telemetry(registry):
+            run_method_grid(prepared, [{"method": "deco", "ipc": 1,
+                                        "seed": 0}], jobs=1)
+        registry.shutdown()
+
+        html_out = run_dir / "report.html"
+        _check(cli_main(["obs", "report", str(run_dir)]) == 0,
+               "repro obs report exited non-zero")
+        _check(html_out.is_file(), f"no report at {html_out}")
+        html = html_out.read_text(encoding="utf-8")
+        for needle in ("<script", "href=", "src="):
+            _check(needle not in html,
+                   f"report is not self-contained: found {needle!r}")
+        _check("Condensation quality" in html,
+               "report lacks the condensation-quality table")
+        _check("No health incidents recorded" in html,
+               "clean micro run should render zero health incidents")
+
+        json_out = run_dir / "report.json"
+        _check(cli_main(["obs", "report", str(run_dir), "--json"]) == 0,
+               "repro obs report --json exited non-zero")
+        doc = json.loads(json_out.read_text(encoding="utf-8"))
+        _check(doc["health"]["count"] == 0,
+               f"JSON report counts {doc['health']['count']} incidents "
+               f"on a clean run")
+        _check("quality" in doc["tables"],
+               "JSON report lacks the quality table")
+        _check(bool(doc["timelines"]), "JSON report carries no timelines")
+
+        from .trace import build_trace, trace_stats, validate_trace
+        from .summary import load_events_with_stats
+        events, _ = load_events_with_stats(run_dir)
+        trace = build_trace(events)
+        problems = validate_trace(trace)
+        _check(not problems, f"trace export invalid: {problems[:3]}")
+        stats = trace_stats(trace)
+        _check(stats["instant_events"] > 0,
+               "trace export carries no instant events")
+    # The run above mutated the process-global registry's sink; leave the
+    # default registry untouched for whoever runs after us.
+    obs.shutdown()
+    obs.reset()
+
+
+def main() -> int:
+    t0 = time.perf_counter()
+    _check_injection()
+    _check_clean()
+    _check_report()
+    print(f"[health-selfcheck] OK: sentinels attribute injected NaN, stay "
+          f"silent when clean, and the run report renders "
+          f"({time.perf_counter() - t0:.1f}s)")
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except SelfCheckFailure as exc:
+        print(f"[health-selfcheck] FAILED: {exc}")
+        sys.exit(1)

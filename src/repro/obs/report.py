@@ -1,0 +1,284 @@
+"""Self-contained single-file HTML run report (``repro obs report``).
+
+Merges everything a ``--telemetry DIR`` run recorded — the summarize
+tables, loss/accuracy/memory timelines, condensation-quality accounts,
+health incidents, and worker-shard breakdowns — into one shareable HTML
+artifact an operator can open anywhere:
+
+* **dependency-free**: the document embeds its own CSS and inline SVG
+  sparklines; no ``<script>``, no stylesheet links, no image fetches —
+  zero external requests when opened;
+* **byte-deterministic**: the output is a pure function of the input
+  events (no generation timestamps, no environment probes), so the same
+  trace always renders the same bytes;
+* **crash-tolerant**: missing, empty, or truncated telemetry degrades to
+  a clearly-labeled partial report instead of a traceback, matching the
+  tolerance of :func:`repro.obs.summary.load_events_with_stats`.
+
+``write_report(..., as_json=True)`` (CLI: ``--json``) writes the same
+document as machine-readable JSON instead.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+import math
+import pathlib
+from typing import Any
+
+from .export import WORKERS_FILENAME
+from .sinks import TRACE_FILENAME, read_jsonl_tolerant
+from .summary import summarize_events_data
+
+__all__ = [
+    "REPORT_FILENAME",
+    "REPORT_JSON_FILENAME",
+    "build_report_data",
+    "render_report_html",
+    "write_report",
+]
+
+REPORT_FILENAME = "report.html"
+REPORT_JSON_FILENAME = "report.json"
+
+#: (key, label, x-label) of each rendered timeline; points come from
+#: :func:`_timelines` in this order.
+_TIMELINE_SPECS = (
+    ("matching_loss", "Matching loss", "segment"),
+    ("accuracy", "Test accuracy", "samples seen"),
+    ("memory_total", "Learner footprint (bytes)", "segment"),
+    ("grad_cosine", "Gradient cosine (g_syn vs g_real)", "segment"),
+    ("retained_accuracy", "Retained pseudo-label accuracy", "segment"),
+)
+
+
+def _finite(value: Any) -> bool:
+    return isinstance(value, (int, float)) and math.isfinite(value)
+
+
+def _series(events: list[dict], etype: str, x_key: str, y_key: str
+            ) -> list[list[float]]:
+    """``[[x, y], ...]`` from one event type, non-finite points dropped."""
+    points = []
+    for ev in events:
+        if ev.get("type") != etype:
+            continue
+        x, y = ev.get(x_key), ev.get(y_key)
+        if _finite(x) and _finite(y):
+            points.append([float(x), float(y)])
+    return points
+
+
+def _timelines(events: list[dict]) -> dict[str, list[list[float]]]:
+    series = {
+        "matching_loss": _series(events, "segment", "segment",
+                                 "matching_loss"),
+        "retained_accuracy": _series(events, "segment", "segment",
+                                     "retained_label_accuracy"),
+        "accuracy": _series(events, "eval", "samples_seen", "accuracy"),
+        "memory_total": _series(events, "memory", "segment", "total_bytes"),
+        "grad_cosine": _series(events, "quality", "segment", "grad_cosine"),
+    }
+    return {key: pts for key, pts in series.items() if pts}
+
+
+def _health_summary(events: list[dict]) -> dict[str, Any]:
+    incidents = []
+    by_op: dict[str, int] = {}
+    for ev in events:
+        if ev.get("type") != "health":
+            continue
+        op = str(ev.get("op", "?"))
+        by_op[op] = by_op.get(op, 0) + 1
+        incidents.append({key: value for key, value in ev.items()
+                          if key not in ("type", "ts")})
+    return {"incidents": incidents, "count": len(incidents),
+            "by_op": dict(sorted(by_op.items()))}
+
+
+def build_report_data(source: str | pathlib.Path) -> dict[str, Any]:
+    """One JSON-ready document holding everything the report renders.
+
+    Never raises on missing/empty/corrupt telemetry: problems become
+    entries in ``notes`` and the rest of the document is built from
+    whatever events were readable.
+    """
+    source = pathlib.Path(source)
+    trace = source / TRACE_FILENAME if source.is_dir() else source
+    run_dir = trace.parent
+    notes: list[str] = []
+    events: list[dict] = []
+    skipped = 0
+    if trace.is_file():
+        try:
+            events, skipped = read_jsonl_tolerant(trace)
+        except OSError as exc:
+            notes.append(f"could not read {trace.name}: {exc}")
+    else:
+        notes.append(f"no telemetry trace at {trace} — partial report")
+    workers = run_dir / WORKERS_FILENAME
+    if workers.is_file():
+        try:
+            more, more_skipped = read_jsonl_tolerant(workers)
+            events.extend(more)
+            skipped += more_skipped
+        except OSError as exc:
+            notes.append(f"could not read {workers.name}: {exc}")
+    if skipped:
+        notes.append(f"{skipped} malformed line(s) skipped — truncated "
+                     f"tail of a killed writer")
+    if not events and not notes:
+        notes.append("telemetry trace is empty — partial report")
+
+    summary = summarize_events_data(events)
+    return {
+        "source": str(source),
+        "command": summary["command"],
+        "events": len(events),
+        "skipped_lines": skipped,
+        "notes": notes,
+        "tables": summary["tables"],
+        "timelines": _timelines(events),
+        "health": _health_summary(events),
+    }
+
+
+# ----------------------------------------------------------------------
+# HTML rendering (no external resources, byte-deterministic)
+# ----------------------------------------------------------------------
+_STYLE = """
+body { font-family: ui-monospace, Consolas, monospace; margin: 2em auto;
+       max-width: 70em; color: #1a1a2e; background: #fcfcfa; }
+h1 { font-size: 1.4em; border-bottom: 2px solid #1a1a2e; }
+h2 { font-size: 1.1em; margin-top: 1.8em; }
+table { border-collapse: collapse; font-size: 0.82em; margin: 0.6em 0; }
+th, td { border: 1px solid #c8c8c0; padding: 0.22em 0.55em;
+         text-align: left; white-space: nowrap; }
+th { background: #ecece4; }
+.note { color: #8a4b00; background: #fff3e0; border: 1px solid #e0b070;
+        padding: 0.4em 0.8em; margin: 0.4em 0; }
+.ok { color: #1f6f3f; }
+.bad { color: #a02020; }
+.spark { display: inline-block; margin: 0.4em 1.2em 0.4em 0;
+         vertical-align: top; }
+.spark figcaption { font-size: 0.78em; color: #555; }
+svg { background: #fff; border: 1px solid #d8d8d0; }
+.meta { color: #555; font-size: 0.85em; }
+"""
+
+
+def _sparkline(points: list[list[float]], width: int = 280,
+               height: int = 56) -> str:
+    """Inline SVG polyline for one timeline (deterministic formatting)."""
+    if len(points) < 2:
+        value = f"{points[0][1]:.4g}" if points else "-"
+        return (f'<svg width="{width}" height="{height}" role="img">'
+                f'<text x="6" y="{height // 2}" font-size="11">'
+                f'single point: {html.escape(value)}</text></svg>')
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    pad = 4.0
+    coords = []
+    for x, y in points:
+        px = pad + (x - x_lo) / x_span * (width - 2 * pad)
+        py = height - pad - (y - y_lo) / y_span * (height - 2 * pad)
+        coords.append(f"{px:.2f},{py:.2f}")
+    return (f'<svg width="{width}" height="{height}" role="img">'
+            f'<polyline fill="none" stroke="#2a5ba8" stroke-width="1.5" '
+            f'points="{" ".join(coords)}"/>'
+            f'<text x="{width - 4}" y="11" font-size="10" '
+            f'text-anchor="end">max {y_hi:.4g}</text>'
+            f'<text x="{width - 4}" y="{height - 4}" font-size="10" '
+            f'text-anchor="end">min {y_lo:.4g}</text></svg>')
+
+
+def _html_table(table: dict[str, Any]) -> str:
+    head = "".join(f"<th>{html.escape(str(h))}</th>"
+                   for h in table["headers"])
+    body = "".join(
+        "<tr>" + "".join(f"<td>{html.escape(str(cell))}</td>"
+                         for cell in row) + "</tr>"
+        for row in table["rows"])
+    return (f'<h2>{html.escape(str(table["title"]))}</h2>'
+            f"<table><thead><tr>{head}</tr></thead>"
+            f"<tbody>{body}</tbody></table>")
+
+
+def render_report_html(data: dict[str, Any]) -> str:
+    """Render one report document as a self-contained HTML page."""
+    parts = ["<!doctype html>", '<html lang="en"><head>',
+             '<meta charset="utf-8">',
+             "<title>repro run report</title>",
+             f"<style>{_STYLE}</style>", "</head><body>",
+             "<h1>repro run report</h1>"]
+    command = data.get("command")
+    meta = [f"source: {html.escape(str(data.get('source', '-')))}",
+            f"events: {data.get('events', 0)}"]
+    if command:
+        meta.insert(0, f"command: {html.escape(str(command))}")
+    parts.append(f'<p class="meta">{" &middot; ".join(meta)}</p>')
+    for note in data.get("notes", ()):
+        parts.append(f'<p class="note">{html.escape(str(note))}</p>')
+
+    health = data.get("health") or {}
+    count = int(health.get("count", 0))
+    if count:
+        by_op = ", ".join(f"{op}: {n}"
+                          for op, n in (health.get("by_op") or {}).items())
+        parts.append(f'<p class="bad">{count} health incident(s) '
+                     f'({html.escape(by_op)}) — see the Health incidents '
+                     f'table.</p>')
+    else:
+        parts.append('<p class="ok">No health incidents recorded.</p>')
+
+    timelines = data.get("timelines") or {}
+    sparks = []
+    for key, label, x_label in _TIMELINE_SPECS:
+        points = timelines.get(key)
+        if not points:
+            continue
+        sparks.append(
+            f'<figure class="spark">{_sparkline(points)}'
+            f"<figcaption>{html.escape(label)} (x: {html.escape(x_label)}, "
+            f"{len(points)} points)</figcaption></figure>")
+    if sparks:
+        parts.append("<h2>Timelines</h2>")
+        parts.extend(sparks)
+
+    tables = data.get("tables") or {}
+    for key in tables:
+        parts.append(_html_table(tables[key]))
+    if not tables:
+        parts.append('<p class="meta">No summarize tables — the trace '
+                     "carries no renderable events.</p>")
+    parts.append("</body></html>")
+    return "\n".join(parts) + "\n"
+
+
+def write_report(source: str | pathlib.Path,
+                 output: str | pathlib.Path | None = None, *,
+                 as_json: bool = False) -> pathlib.Path:
+    """Build and write the report; returns the written path.
+
+    Default output: ``<run_dir>/report.html`` (``report.json`` with
+    ``as_json``), next to the telemetry trace.
+    """
+    source = pathlib.Path(source)
+    data = build_report_data(source)
+    run_dir = source if source.is_dir() else source.parent
+    if output is not None:
+        out = pathlib.Path(output)
+    else:
+        out = run_dir / (REPORT_JSON_FILENAME if as_json else REPORT_FILENAME)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    if as_json:
+        text = json.dumps(data, indent=1, sort_keys=True) + "\n"
+    else:
+        text = render_report_html(data)
+    out.write_text(text, encoding="utf-8")
+    return out

@@ -74,6 +74,12 @@ def main() -> int:
         _check(any(name.startswith("parallel.") for name in reference),
                "serial reference emitted no parallel.* counters — the "
                "aggregate comparison would be vacuous")
+        _check(any(name.startswith("health.") for name in reference),
+               "serial reference emitted no health.* counters — sentinel "
+               "parity would be vacuous")
+        _check(any(name.startswith("quality.") for name in reference),
+               "serial reference emitted no quality.* counters — "
+               "condensation-quality parity would be vacuous")
 
         with tempfile.TemporaryDirectory(prefix="repro-obs-check-") as tmp:
             run_dir = pathlib.Path(tmp) / "trace"

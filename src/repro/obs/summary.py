@@ -8,9 +8,16 @@ the same monospace tables the experiment reports use
 * **Segments** — one row per ``segment`` event: active classes, pseudo-label
   acceptance, vote margin, matching/discrimination losses, buffer drift,
   retrain trigger;
+* **Condensation quality** — one row per (segment, class) from the
+  ``quality`` events: pseudo-label precision against ground truth, slot
+  age/updates/drift, buffer occupancy, and the real/synthetic gradient
+  cosine;
+* **Health incidents** — one row per ``health`` event: op, kind, segment,
+  iteration, policy action, and the offending value's statistics;
 * **Span timings** — ``span`` events aggregated by name (count / total /
-  mean / max milliseconds), covering the matcher's five forward/backward
-  passes and the learner stages;
+  mean / p50 / p95 / p99 / max milliseconds, quantiles estimated from the
+  same bounded log-bucket scheme ``Telemetry.observe`` uses), covering the
+  matcher's five forward/backward passes and the learner stages;
 * **Runtime counters** — the last ``counters`` snapshot: plan-cache
   hits/misses/evictions and workspace-arena traffic.
 """
@@ -22,6 +29,7 @@ from typing import Any, Iterable
 
 from .export import WORKERS_FILENAME, aggregate_worker_counters
 from .sinks import TRACE_FILENAME, read_jsonl_tolerant
+from .telemetry import QUANTILE_BUCKETS, _bucket_index, bucket_quantiles
 
 
 def _format_table(headers, rows, title=None) -> str:
@@ -103,7 +111,7 @@ def _segment_rows(events: Iterable[dict]) -> list[list[str]]:
 
 
 def _span_rows(events: Iterable[dict]) -> list[list[str]]:
-    agg: dict[str, list[float]] = {}
+    agg: dict[str, list] = {}
     for ev in events:
         if ev.get("type") != "span":
             continue
@@ -111,16 +119,71 @@ def _span_rows(events: Iterable[dict]) -> list[list[str]]:
         dur = float(ev.get("dur_s", 0.0))
         entry = agg.get(name)
         if entry is None:
-            agg[name] = [1, dur, dur]
+            buckets = [0] * QUANTILE_BUCKETS
+            buckets[_bucket_index(dur)] = 1
+            agg[name] = [1, dur, dur, dur, buckets]
         else:
             entry[0] += 1
             entry[1] += dur
             entry[2] = max(entry[2], dur)
+            entry[3] = min(entry[3], dur)
+            entry[4][_bucket_index(dur)] += 1
     rows = []
     for name in sorted(agg, key=lambda n: -agg[n][1]):
-        count, total, peak = agg[name]
+        count, total, peak, floor, buckets = agg[name]
+        q = bucket_quantiles(buckets, int(count), floor, peak)
         rows.append([name, str(int(count)), f"{total * 1e3:.1f}",
-                     f"{total / count * 1e3:.3f}", f"{peak * 1e3:.3f}"])
+                     f"{total / count * 1e3:.3f}",
+                     f"{q['p50'] * 1e3:.3f}", f"{q['p95'] * 1e3:.3f}",
+                     f"{q['p99'] * 1e3:.3f}", f"{peak * 1e3:.3f}"])
+    return rows
+
+
+def _at(values, index: int):
+    return values[index] if isinstance(values, list) and index < len(values) \
+        else None
+
+
+def _quality_rows(events: Iterable[dict]) -> list[list[str]]:
+    """One row per (segment, class) from the ``quality`` events."""
+    rows = []
+    for ev in events:
+        if ev.get("type") != "quality":
+            continue
+        classes = ev.get("classes") or []
+        for i, c in enumerate(classes):
+            rows.append([
+                _fmt(ev.get("segment")),
+                str(c),
+                _fmt(_at(ev.get("precision"), i)),
+                _fmt(_at(ev.get("kept"), i)),
+                _fmt(_at(ev.get("updates"), i)),
+                _fmt(_at(ev.get("ages"), i)),
+                _fmt(_at(ev.get("drift_l2"), i)),
+                _fmt(ev.get("occupancy")),
+                _fmt(ev.get("grad_cosine")),
+            ])
+    return rows
+
+
+def _health_rows(events: Iterable[dict]) -> list[list[str]]:
+    """One row per ``health`` incident event."""
+    rows = []
+    for ev in events:
+        if ev.get("type") != "health":
+            continue
+        if ev.get("kind") == "divergence":
+            detail = (f"value={_fmt(ev.get('value'))} "
+                      f"ewma={_fmt(ev.get('ewma_mean'))}")
+        else:
+            parts = [f"{key}={_fmt(ev[key])}"
+                     for key in ("nan", "inf", "layer", "value", "grad_norm",
+                                 "finite_min", "finite_max")
+                     if key in ev]
+            detail = " ".join(parts) or "-"
+        rows.append([str(ev.get("op", "?")), str(ev.get("kind", "?")),
+                     _fmt(ev.get("segment")), _fmt(ev.get("iteration")),
+                     str(ev.get("action", "?")), detail])
     return rows
 
 
@@ -252,8 +315,14 @@ _TABLE_SPECS = (
      ["segment", "active", "kept/total", "kept-acc", "vote-margin",
       "match-loss", "disc-loss", "alpha", "drift-L2", "retrain"],
      _segment_rows),
+    ("quality", "Condensation quality (per class)",
+     ["segment", "class", "precision", "kept", "updates", "age", "drift-L2",
+      "occupancy", "grad-cos"], _quality_rows),
+    ("health", "Health incidents",
+     ["op", "kind", "segment", "iter", "action", "detail"], _health_rows),
     ("spans", "Span timings",
-     ["span", "count", "total-ms", "mean-ms", "max-ms"], _span_rows),
+     ["span", "count", "total-ms", "mean-ms", "p50-ms", "p95-ms", "p99-ms",
+      "max-ms"], _span_rows),
     ("memory", "Memory footprint (per segment)",
      ["segment", "buffer", "model", "total", "peak", "budget", "status"],
      _memory_rows),

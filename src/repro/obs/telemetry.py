@@ -12,8 +12,13 @@ every hot-path call to a single attribute check:
 * only :func:`enable` installs a sink and makes those calls live.
 
 When enabled, spans time themselves with ``perf_counter``, fold their
-duration into a bounded histogram aggregate (count/total/min/max — never a
-value list), and emit one record to the active sink.  Sinks are pluggable
+duration into a bounded histogram aggregate (count/total/min/max plus a
+fixed array of log-spaced buckets — never a value list), and emit one
+record to the active sink.  The buckets make p50/p95/p99 estimates
+available in :meth:`Telemetry.snapshot` at zero marginal memory: one
+64-slot integer array per histogram, each slot covering one power of two,
+so the quantile error is bounded by a factor of ``sqrt(2)`` and clamped
+into the observed ``[min, max]``.  Sinks are pluggable
 (:mod:`repro.obs.sinks`); the default run layout is one JSONL file with one
 record per event, consumed by :mod:`repro.obs.summary`.
 """
@@ -21,6 +26,7 @@ record per event, consumed by :mod:`repro.obs.summary`.
 from __future__ import annotations
 
 import contextlib
+import math
 import time
 from typing import Any
 
@@ -28,6 +34,8 @@ from .memory import DISK_ACCOUNT_PREFIX, default_ledger
 from .sinks import EventSink, JsonlSink
 
 __all__ = [
+    "QUANTILE_BUCKETS",
+    "bucket_quantiles",
     "Telemetry",
     "get_telemetry",
     "scoped_telemetry",
@@ -59,6 +67,56 @@ class _NoopSpan:
 
 
 _NOOP_SPAN = _NoopSpan()
+
+# ----------------------------------------------------------------------
+# Log-bucketed quantile estimation
+# ----------------------------------------------------------------------
+#: Number of power-of-two buckets per histogram (fixed; no value lists).
+QUANTILE_BUCKETS = 64
+#: Bucket ``i`` covers ``[2**(i - _BUCKET_BIAS), 2**(i - _BUCKET_BIAS + 1))``;
+#: bias 32 spans ~2.3e-10 .. ~4.3e9, comfortably covering sub-microsecond
+#: span durations through multi-hour totals.  Bucket 0 additionally absorbs
+#: everything below the range (including zero and negative values).
+_BUCKET_BIAS = 32
+
+
+def _bucket_index(value: float) -> int:
+    """Bucket slot for one observed value."""
+    if not value > 0.0:  # zero, negative, NaN -> underflow bucket
+        return 0
+    exp = math.frexp(value)[1]  # value = m * 2**exp with 0.5 <= m < 1
+    return min(QUANTILE_BUCKETS - 1, max(0, exp + _BUCKET_BIAS - 1))
+
+
+def _bucket_quantile(buckets: list[int], count: int, q: float,
+                     lo: float, hi: float) -> float:
+    """Estimate the ``q``-quantile from a bucket CDF, clamped to [lo, hi]."""
+    if count <= 0:
+        return float("nan")
+    rank = max(1, math.ceil(q * count))
+    cum = 0
+    index = QUANTILE_BUCKETS - 1
+    for i, n in enumerate(buckets):
+        cum += n
+        if cum >= rank:
+            index = i
+            break
+    # Geometric bucket midpoint; the clamp makes single-sample and
+    # single-bucket histograms exact.
+    estimate = 2.0 ** (index - _BUCKET_BIAS + 0.5)
+    return min(max(estimate, lo), hi)
+
+
+def bucket_quantiles(buckets: list[int], count: int, lo: float, hi: float,
+                     qs: tuple[float, ...] = (0.5, 0.95, 0.99)
+                     ) -> dict[str, float]:
+    """``{"p50": ..., ...}`` estimates from one bounded bucket array.
+
+    Shared by :meth:`Telemetry.snapshot` and the summarize span table so
+    both report the same estimator.
+    """
+    return {f"p{int(q * 100)}": _bucket_quantile(buckets, count, q, lo, hi)
+            for q in qs}
 
 
 class _Span:
@@ -108,8 +166,9 @@ class Telemetry:
         self.sink: EventSink | None = None
         self.counters: dict[str, float] = {}
         self.gauges: dict[str, float] = {}
-        # name -> [count, total, min, max]; bounded regardless of run length.
-        self.histograms: dict[str, list[float]] = {}
+        # name -> [count, total, min, max, buckets]; bounded regardless of
+        # run length (buckets is a fixed QUANTILE_BUCKETS-slot int list).
+        self.histograms: dict[str, list] = {}
         self._depth = 0
 
     # -- lifecycle ---------------------------------------------------------
@@ -151,12 +210,15 @@ class Telemetry:
             return
         agg = self.histograms.get(name)
         if agg is None:
-            self.histograms[name] = [1, value, value, value]
+            buckets = [0] * QUANTILE_BUCKETS
+            buckets[_bucket_index(value)] = 1
+            self.histograms[name] = [1, value, value, value, buckets]
         else:
             agg[0] += 1
             agg[1] += value
             agg[2] = min(agg[2], value)
             agg[3] = max(agg[3], value)
+            agg[4][_bucket_index(value)] += 1
 
     def span(self, name: str, **fields: Any) -> _Span | _NoopSpan:
         """Nestable timer; a no-op singleton while disabled."""
@@ -187,7 +249,9 @@ class Telemetry:
             "histograms": {
                 name: {"count": int(agg[0]), "total": agg[1],
                        "min": agg[2], "max": agg[3],
-                       "mean": agg[1] / agg[0] if agg[0] else float("nan")}
+                       "mean": agg[1] / agg[0] if agg[0] else float("nan"),
+                       **bucket_quantiles(agg[4], int(agg[0]),
+                                          agg[2], agg[3])}
                 for name, agg in self.histograms.items()
             },
         }
@@ -308,6 +372,9 @@ def collect_runtime_counters(registry: Telemetry | None = None, *,
     from ..condensation.matching import fd_fuse_stats  # local import, as above
     for key, val in fd_fuse_stats().items():
         values[f"fd.{key}"] = float(val)
+    from .health import health_stats  # local: health imports this module
+    for key, val in health_stats().items():
+        values[f"health.{key}"] = float(val)
     mem_totals = default_ledger.totals()
     for account, nbytes in mem_totals.items():
         values[f"memory.{account}_bytes"] = float(nbytes)

@@ -23,6 +23,11 @@ directly:
   ``rss`` samples, and the byte-valued gauges of ``counters`` snapshots
   become ``C`` (counter) events, so the memory-account curves render
   alongside the span flame.
+* **Instant markers.**  Per-segment learner events — ``segment`` (plus a
+  ``retrain`` marker when the segment retrained), ``eval``, ``memory``,
+  ``quality``, ``health``, ``resume`` — become thread-scoped ``i``
+  (instant) events pinned to their lane, so health incidents and quality
+  accounts line up against the spans that produced them.
 
 :func:`validate_trace` re-checks the invariants the export guarantees
 (matched B/E pairs, monotone timestamps per lane, parseable counter
@@ -60,6 +65,10 @@ _SPAN_META_KEYS = frozenset({
 _MEMORY_EVENT_FIELDS = ("buffer_bytes", "model_bytes", "total_bytes",
                         "peak_bytes", "rss_bytes", "budget_bytes")
 _RSS_EVENT_FIELDS = ("rss_bytes", "tracked_bytes", "high_water_bytes")
+# Learner event types exported as instant ("i") markers on their lane.
+_INSTANT_EVENT_TYPES = frozenset({
+    "segment", "eval", "memory", "quality", "health", "resume",
+})
 
 
 def _lane(record: dict[str, Any]) -> tuple[int, int]:
@@ -149,11 +158,36 @@ def _counter_events(record: dict[str, Any], pid: int, t0: float
                "ts": _us(ts, t0), "args": {"bytes": float(value)}}
 
 
+def _instant_events(record: dict[str, Any], pid: int, tid: int, t0: float
+                    ) -> Iterable[dict[str, Any]]:
+    """Thread-scoped instant markers for one learner event record.
+
+    Args keep only scalar payload fields — the list-valued per-class
+    vectors of ``quality`` events stay in the summarize tables where they
+    are readable.
+    """
+    rtype = str(record.get("type"))
+    ts = float(record.get("ts", t0))
+    args = {k: v for k, v in record.items()
+            if k not in ("type", "ts", "seq", "config_hash", "task_index",
+                         "worker_pid")
+            and isinstance(v, (bool, int, float, str))}
+    name = (f"health.{record.get('kind', 'incident')}"
+            if rtype == "health" else rtype)
+    yield {"name": name, "ph": "i", "s": "t", "pid": pid, "tid": tid,
+           "ts": _us(ts, t0), "args": args}
+    if rtype == "segment" and record.get("retrain"):
+        yield {"name": "retrain", "ph": "i", "s": "t", "pid": pid,
+               "tid": tid, "ts": _us(ts, t0),
+               "args": {"segment": record.get("segment", -1)}}
+
+
 def build_trace(events: list[dict[str, Any]]) -> dict[str, Any]:
     """Convert loaded telemetry events into a Chrome trace-event document."""
     lanes: dict[tuple[int, int], list[dict[str, Any]]] = {}
     lane_names: dict[tuple[int, int], str] = {}
     counters: list[tuple[dict[str, Any], int]] = []
+    instants: list[tuple[dict[str, Any], tuple[int, int]]] = []
     starts: list[float] = []
 
     for record in events:
@@ -171,6 +205,8 @@ def build_trace(events: list[dict[str, Any]]) -> dict[str, Any]:
                 lane_names[lane] = f"task {lane[1]} [{digest}]"
             if rtype in ("memory", "rss", "counters"):
                 counters.append((record, lane[0]))
+            if rtype in _INSTANT_EVENT_TYPES:
+                instants.append((record, lane))
 
     t0 = min(starts) if starts else 0.0
     trace_events: list[dict[str, Any]] = []
@@ -200,6 +236,8 @@ def build_trace(events: list[dict[str, Any]]) -> dict[str, Any]:
 
     for record, pid in counters:
         trace_events.extend(_counter_events(record, pid, t0))
+    for record, lane in instants:
+        trace_events.extend(_instant_events(record, lane[0], lane[1], t0))
 
     meta = next((ev for ev in events if ev.get("type") == "run_start"), None)
     other: dict[str, Any] = {"source": "repro obs trace",
@@ -235,7 +273,7 @@ def validate_trace(trace: dict[str, Any]) -> list[str]:
     Verifies what a viewer needs: per (pid, tid) lane the duration events
     appear with non-decreasing timestamps and every ``B`` is closed by a
     matching ``E`` (same name, LIFO order); counter events carry numeric
-    values.
+    values; instant events carry a valid scope.
     """
     problems: list[str] = []
     events = trace.get("traceEvents")
@@ -277,6 +315,11 @@ def validate_trace(trace: dict[str, Any]) -> list[str]:
                     isinstance(v, (int, float)) for v in args.values()):
                 problems.append(f"event {i}: counter {ev.get('name')!r} "
                                 f"has non-numeric args")
+        elif ph == "i":
+            scope = ev.get("s")
+            if scope not in (None, "t", "p", "g"):
+                problems.append(f"event {i}: instant {ev.get('name')!r} "
+                                f"has invalid scope {scope!r}")
         else:
             problems.append(f"event {i}: unknown phase {ph!r}")
     for lane, stack in stacks.items():
@@ -295,6 +338,7 @@ def trace_stats(trace: dict[str, Any]) -> dict[str, Any]:
     return {
         "events": len(events),
         "span_events": sum(1 for ev in events if ev.get("ph") in ("B", "E")),
+        "instant_events": sum(1 for ev in events if ev.get("ph") == "i"),
         "span_lanes": len(lanes),
         "pids": len({pid for pid, _ in lanes} if lanes else set()),
         "counter_tracks": len(counter_tracks),

@@ -28,7 +28,12 @@ SEGMENT_ALWAYS = {"type", "ts", "segment", "samples_seen", "retrain",
                   "pseudo_labels_total", "pseudo_labels_kept", "vote_margin",
                   "pseudo_label_accuracy", "retained_label_accuracy"}
 SEGMENT_WHEN_CONDENSED = {"matching_loss", "condense_passes",
-                          "discrimination_loss", "alpha", "buffer_drift_l2"}
+                          "discrimination_loss", "alpha", "buffer_drift_l2",
+                          "grad_cosine"}
+# The per-class condensation-quality event schema (README "Observability").
+QUALITY_FIELDS = {"type", "ts", "segment", "classes", "precision", "kept",
+                  "ages", "updates", "drift_l2", "slots_per_class",
+                  "occupancy", "grad_cosine", "health_skipped"}
 
 DS = make_dataset(DatasetSpec(name="toy", num_classes=3, image_size=8,
                               train_per_class=20, test_per_class=8,
@@ -119,6 +124,37 @@ class TestSegmentEventSchema:
         evals = [r for r in records if r["type"] == "eval"]
         assert evals
         assert all(0.0 <= e["accuracy"] <= 1.0 for e in evals)
+
+    def test_quality_event_per_condensed_segment(self):
+        records, _ = run_traced()
+        segments = [r for r in records if r["type"] == "segment"]
+        condensed = [s["segment"] for s in segments if s["active_classes"]]
+        quality = [r for r in records if r["type"] == "quality"]
+        assert [q["segment"] for q in quality] == condensed
+        for q in quality:
+            missing = QUALITY_FIELDS - set(q)
+            assert not missing, f"quality event missing {missing}: {q}"
+            n = len(q["classes"])
+            for key in ("precision", "kept", "ages", "updates", "drift_l2"):
+                assert len(q[key]) == n, f"{key} not per-class: {q}"
+            assert 0.0 <= q["occupancy"] <= 1.0
+            assert -1.0 <= q["grad_cosine"] <= 1.0 \
+                or q["grad_cosine"] != q["grad_cosine"]  # NaN allowed
+            for p in q["precision"]:
+                assert 0.0 <= p <= 1.0 or p != p
+
+    def test_quality_ages_and_updates_advance(self):
+        records, _ = run_traced()
+        quality = [r for r in records if r["type"] == "quality"]
+        seen: dict[int, int] = {}
+        for q in quality:
+            for c, age, count in zip(q["classes"], q["ages"], q["updates"]):
+                if c in seen:
+                    assert age == q["segment"] - seen[c]
+                else:
+                    assert age == -1
+                assert count >= 1
+                seen[c] = q["segment"]
 
     def test_history_identical_with_and_without_telemetry(self):
         obs.disable()

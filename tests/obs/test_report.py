@@ -1,0 +1,168 @@
+"""Tests for the self-contained HTML run report (repro.obs.report)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.report import (REPORT_FILENAME, build_report_data,
+                              render_report_html, write_report)
+
+# A fixed micro trace: enough event variety to exercise every report
+# section deterministically (no wall-clock-dependent fields are rendered).
+FIXTURE_EVENTS = [
+    {"type": "run_start", "ts": 100.0, "command": "run",
+     "argv": ["repro", "run"]},
+    {"type": "span", "name": "condense", "ts": 101.0, "dur_s": 0.5,
+     "depth": 0, "segment": 0},
+    {"type": "segment", "ts": 101.0, "segment": 0, "samples_seen": 10,
+     "retrain": False, "matching_loss": 0.9, "active_classes": [0],
+     "retained_label_accuracy": 0.8},
+    {"type": "quality", "ts": 101.1, "segment": 0, "classes": [0],
+     "precision": [0.75], "kept": [4], "ages": [-1], "updates": [1],
+     "drift_l2": [0.5], "slots_per_class": 2, "occupancy": 0.5,
+     "grad_cosine": 0.9, "health_skipped": 0},
+    {"type": "memory", "ts": 101.2, "segment": 0, "total_bytes": 1024,
+     "buffer_bytes": 512, "model_bytes": 512},
+    {"type": "segment", "ts": 102.0, "segment": 1, "samples_seen": 20,
+     "retrain": True, "matching_loss": 0.7, "active_classes": [0, 1],
+     "retained_label_accuracy": 0.9},
+    {"type": "quality", "ts": 102.1, "segment": 1, "classes": [0, 1],
+     "precision": [1.0, 0.5], "kept": [3, 5], "ages": [1, -1],
+     "updates": [2, 1], "drift_l2": [0.2, 0.6], "slots_per_class": 2,
+     "occupancy": 1.0, "grad_cosine": 0.95, "health_skipped": 0},
+    {"type": "memory", "ts": 102.2, "segment": 1, "total_bytes": 1100,
+     "buffer_bytes": 550, "model_bytes": 550},
+    {"type": "eval", "ts": 102.5, "samples_seen": 20, "accuracy": 0.625},
+    {"type": "health", "ts": 102.6, "op": "matcher.g_real",
+     "kind": "nonfinite", "action": "record", "segment": 1, "iteration": 3,
+     "checked": 64, "nan": 2, "inf": 0},
+]
+
+
+@pytest.fixture
+def run_dir(tmp_path):
+    trace = tmp_path / "trace.jsonl"
+    with trace.open("w", encoding="utf-8") as fh:
+        for ev in FIXTURE_EVENTS:
+            fh.write(json.dumps(ev) + "\n")
+    return tmp_path
+
+
+class TestBuildReportData:
+    def test_full_fixture_document(self, run_dir):
+        data = build_report_data(run_dir)
+        assert data["events"] == len(FIXTURE_EVENTS)
+        assert data["command"] == "run"
+        assert data["notes"] == []
+        assert data["health"]["count"] == 1
+        assert data["health"]["by_op"] == {"matcher.g_real": 1}
+        assert data["timelines"]["matching_loss"] == [[0.0, 0.9], [1.0, 0.7]]
+        assert data["timelines"]["accuracy"] == [[20.0, 0.625]]
+        assert "quality" in data["tables"]
+        assert "health" in data["tables"]
+
+    def test_missing_dir_degrades_to_partial(self, tmp_path):
+        data = build_report_data(tmp_path / "nope")
+        assert data["events"] == 0
+        assert any("partial report" in note for note in data["notes"])
+
+    def test_empty_trace_degrades_to_partial(self, tmp_path):
+        (tmp_path / "trace.jsonl").write_text("")
+        data = build_report_data(tmp_path)
+        assert data["events"] == 0
+        assert any("partial report" in note for note in data["notes"])
+
+    def test_truncated_tail_is_noted_not_fatal(self, run_dir):
+        trace = run_dir / "trace.jsonl"
+        with trace.open("a", encoding="utf-8") as fh:
+            fh.write('{"type": "segment", "ts": 103.0, "segm')  # killed writer
+        data = build_report_data(run_dir)
+        assert data["events"] == len(FIXTURE_EVENTS)
+        assert data["skipped_lines"] == 1
+        assert any("malformed" in note for note in data["notes"])
+
+    def test_nonfinite_points_dropped_from_timelines(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        events = [{"type": "segment", "ts": 1.0, "segment": 0,
+                   "matching_loss": 0.5},
+                  {"type": "segment", "ts": 2.0, "segment": 1,
+                   "matching_loss": float("nan")}]
+        with trace.open("w", encoding="utf-8") as fh:
+            for ev in events:
+                fh.write(json.dumps(ev) + "\n")
+        data = build_report_data(tmp_path)
+        assert data["timelines"]["matching_loss"] == [[0.0, 0.5]]
+
+
+class TestRenderHtml:
+    def test_byte_deterministic(self, run_dir):
+        data = build_report_data(run_dir)
+        assert render_report_html(data) == render_report_html(
+            build_report_data(run_dir))
+
+    def test_self_contained(self, run_dir):
+        html = render_report_html(build_report_data(run_dir))
+        for needle in ("<script", "href=", "src=", "http://", "https://"):
+            assert needle not in html, f"external reference: {needle!r}"
+        assert html.startswith("<!doctype html>")
+
+    def test_sections_render(self, run_dir):
+        html = render_report_html(build_report_data(run_dir))
+        assert "Condensation quality" in html
+        assert "Health incidents" in html
+        assert "1 health incident(s)" in html
+        assert "<svg" in html  # sparkline timelines
+        assert "Matching loss" in html
+
+    def test_partial_report_renders_notes(self, tmp_path):
+        html = render_report_html(build_report_data(tmp_path / "nope"))
+        assert "partial report" in html
+        assert "No health incidents recorded" in html
+
+    def test_single_point_timeline_renders(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        trace.write_text(json.dumps(
+            {"type": "eval", "ts": 1.0, "samples_seen": 5,
+             "accuracy": 0.5}) + "\n")
+        html = render_report_html(build_report_data(tmp_path))
+        assert "single point" in html
+
+
+class TestWriteReport:
+    def test_default_output_path(self, run_dir):
+        out = write_report(run_dir)
+        assert out == run_dir / REPORT_FILENAME
+        assert out.read_text(encoding="utf-8").startswith("<!doctype html>")
+
+    def test_json_twin_round_trips(self, run_dir):
+        out = write_report(run_dir, as_json=True)
+        doc = json.loads(out.read_text(encoding="utf-8"))
+        assert doc == build_report_data(run_dir)
+
+    def test_explicit_output_path(self, run_dir, tmp_path):
+        target = tmp_path / "sub" / "r.html"
+        assert write_report(run_dir, target) == target
+        assert target.is_file()
+
+    def test_accepts_trace_file_path(self, run_dir):
+        out = write_report(run_dir / "trace.jsonl")
+        assert out == run_dir / REPORT_FILENAME
+
+
+class TestCli:
+    def test_obs_report_subcommand(self, run_dir, capsys):
+        from repro.cli import main as cli_main
+
+        assert cli_main(["obs", "report", str(run_dir)]) == 0
+        assert (run_dir / REPORT_FILENAME).is_file()
+        assert "run report written" in capsys.readouterr().out
+
+    def test_obs_report_json(self, run_dir, tmp_path):
+        from repro.cli import main as cli_main
+
+        out = tmp_path / "doc.json"
+        assert cli_main(["obs", "report", str(run_dir), "--json",
+                         "-o", str(out)]) == 0
+        json.loads(out.read_text(encoding="utf-8"))

@@ -56,6 +56,71 @@ class TestSummarizeEvents:
         text = summarize_events([])
         assert "no segment events" in text
 
+    def test_span_quantile_columns(self):
+        from repro.obs import summarize_events_data
+
+        events = [{"type": "span", "name": "op", "dur_s": d, "depth": 0}
+                  for d in [0.001] * 98 + [0.512, 1.024]]
+        table = summarize_events_data(events)["tables"]["spans"]
+        assert table["headers"][4:7] == ["p50-ms", "p95-ms", "p99-ms"]
+        row = table["rows"][0]
+        p50, p95, p99 = (float(row[4]), float(row[5]), float(row[6]))
+        mx = float(row[7])
+        # Log-bucket estimates: p50 in the 1ms bucket, p99 caught by the
+        # outlier buckets, everything clamped inside [min, max].
+        assert 0.5 <= p50 <= 2.0
+        assert p50 <= p95 <= p99 <= mx
+        assert p99 >= 100.0
+
+
+QUALITY_EVENT = {
+    "type": "quality", "segment": 3, "classes": [0, 2],
+    "precision": [1.0, 0.5], "kept": [4, 6], "ages": [-1, 2],
+    "updates": [1, 3], "drift_l2": [0.25, 1.5], "slots_per_class": 2,
+    "occupancy": 0.6667, "grad_cosine": 0.91, "health_skipped": 0,
+}
+
+HEALTH_EVENT = {
+    "type": "health", "op": "matcher.g_syn", "kind": "nonfinite",
+    "action": "record", "segment": 3, "iteration": 7, "checked": 64,
+    "nan": 2, "inf": 0,
+}
+
+
+class TestQualityAndHealthTables:
+    def test_quality_rows_one_per_segment_class(self):
+        text = summarize_events(_events() + [QUALITY_EVENT])
+        assert "Condensation quality (per class)" in text
+        lines = text.splitlines()
+        start = next(i for i, line in enumerate(lines)
+                     if "Condensation quality" in line)
+        body = "\n".join(lines[start:start + 6])
+        assert "0.5000" in body   # class-2 precision
+        assert "0.9100" in body   # grad cosine
+
+    def test_health_rows_render_incident_context(self):
+        text = summarize_events(_events() + [HEALTH_EVENT])
+        assert "Health incidents" in text
+        row = next(line for line in text.splitlines()
+                   if line.startswith("matcher.g_syn"))
+        assert "nonfinite" in row and "record" in row
+        assert "nan=2" in row
+
+    def test_divergence_detail(self):
+        ev = {"type": "health", "op": "matcher.matching_loss",
+              "kind": "divergence", "action": "record", "segment": 1,
+              "iteration": 2, "value": 99.0, "ewma_mean": 1.0,
+              "ewma_dev": 0.1}
+        text = summarize_events(_events() + [ev])
+        row = next(line for line in text.splitlines()
+                   if line.startswith("matcher.matching_loss"))
+        assert "value=" in row and "ewma=" in row
+
+    def test_no_events_no_tables(self):
+        text = summarize_events(_events())
+        assert "Condensation quality" not in text
+        assert "Health incidents" not in text
+
 
 class TestLoadEvents:
     def test_accepts_file_and_directory(self, tmp_path):

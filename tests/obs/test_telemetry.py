@@ -72,6 +72,37 @@ class TestEnabledRegistry:
         assert hist["min"] == 1.0 and hist["max"] == 3.0
         assert hist["mean"] == pytest.approx(2.0)
 
+    def test_histogram_quantiles_are_log_bucketed(self):
+        t = Telemetry()
+        t.enable()
+        for v in [0.001] * 9 + [1.0]:
+            t.observe("dur", v)
+        hist = t.snapshot()["histograms"]["dur"]
+        # p50 lands in the 2^-10 bucket (geometric midpoint, clamped to
+        # the observed range); p99's rank (10 of 10) must catch the single
+        # 1.0 outlier but never exceed the exact max.
+        assert 0.0005 <= hist["p50"] <= 0.002
+        assert hist["p99"] > 0.1
+        assert hist["p50"] <= hist["p95"] <= hist["p99"] <= hist["max"]
+
+    def test_single_sample_quantiles_are_exact(self):
+        t = Telemetry()
+        t.enable()
+        t.observe("dur", 0.037)
+        hist = t.snapshot()["histograms"]["dur"]
+        # One sample: clamping to [min, max] makes every quantile exact.
+        assert hist["p50"] == hist["p95"] == hist["p99"] == 0.037
+
+    def test_nonpositive_values_bucketed_safely(self):
+        t = Telemetry()
+        t.enable()
+        for v in (0.0, -1.0, 2.0):
+            t.observe("dur", v)
+        hist = t.snapshot()["histograms"]["dur"]
+        assert hist["count"] == 3
+        assert hist["min"] == -1.0 and hist["max"] == 2.0
+        assert hist["p50"] >= hist["min"]
+
     def test_spans_nest_and_emit_depth(self):
         t = Telemetry()
         sink = ListSink()

@@ -125,6 +125,51 @@ class TestCounters:
                 assert isinstance(ev["args"]["bytes"], float)
 
 
+class TestInstants:
+    def test_learner_events_become_instant_markers(self):
+        trace = build_trace([
+            {"type": "segment", "ts": T0 + 1, "segment": 0, "retrain": False,
+             "matching_loss": 0.5, "active_classes": [0]},
+            {"type": "eval", "ts": T0 + 2, "samples_seen": 10,
+             "accuracy": 0.5},
+            {"type": "quality", "ts": T0 + 3, "segment": 0, "classes": [0],
+             "occupancy": 0.5, "grad_cosine": 0.9},
+            {"type": "health", "ts": T0 + 4, "op": "matcher.g_real",
+             "kind": "nonfinite", "action": "record", "segment": 0},
+        ])
+        assert validate_trace(trace) == []
+        instants = [ev for ev in trace["traceEvents"] if ev["ph"] == "i"]
+        names = [ev["name"] for ev in instants]
+        assert names == ["segment", "eval", "quality", "health.nonfinite"]
+        assert all(ev["s"] == "t" for ev in instants)
+        assert trace_stats(trace)["instant_events"] == 4
+        # Scalar payload lands in args; list-valued fields stay out.
+        seg = instants[0]
+        assert seg["args"]["matching_loss"] == 0.5
+        assert "active_classes" not in seg["args"]
+
+    def test_retrain_segment_gets_extra_marker(self):
+        trace = build_trace([
+            {"type": "segment", "ts": T0 + 1, "segment": 3, "retrain": True},
+        ])
+        names = [ev["name"] for ev in trace["traceEvents"]
+                 if ev["ph"] == "i"]
+        assert names == ["segment", "retrain"]
+
+    def test_worker_instants_land_on_their_lane(self):
+        trace = build_trace([
+            {"type": "segment", "ts": T0 + 1, "segment": 0, "retrain": False,
+             "worker_pid": 41, "seq": 2, "task_index": 1},
+        ])
+        marker = next(ev for ev in trace["traceEvents"] if ev["ph"] == "i")
+        assert (marker["pid"], marker["tid"]) == (41, 1)
+
+    def test_invalid_instant_scope_flagged(self):
+        bad = {"traceEvents": [{"name": "x", "ph": "i", "pid": 0, "tid": 0,
+                                "ts": 1.0, "s": "z"}]}
+        assert any("invalid scope" in p for p in validate_trace(bad))
+
+
 class TestValidate:
     def test_flags_unbalanced_and_mismatched(self):
         bad = {"traceEvents": [

@@ -123,6 +123,45 @@ def test_telemetry_overhead_on_condense_segment_is_small():
 
 
 @pytest.mark.perf_smoke
+def test_health_sentinel_overhead_on_condense_segment_is_small():
+    """The default ``record``-policy sentinels must cost <= ~5% on a
+    condense segment with telemetry off (plus the usual absolute noise
+    allowance): each check is one strided sum per hand-off, and the
+    optimizer gauges run on a 1-in-4 sampling cadence.
+    """
+    from repro.obs.health import scoped_policy
+
+    rng = np.random.default_rng(0)
+    buf = SyntheticBuffer(3, 2, (3, 8, 8))
+    buf.images[:] = rng.standard_normal(buf.images.shape).astype(np.float32)
+    real_x = rng.standard_normal((24, 3, 8, 8)).astype(np.float32)
+    real_y = rng.integers(0, 3, 24)
+    matcher = OneStepMatcher(iterations=4, alpha=0.1, batch_size=16)
+    factory = lambda r: ConvNet(3, 3, 8, width=8, depth=2, rng=r)
+    deployed = ConvNet(3, 3, 8, width=8, depth=2, rng=np.random.default_rng(5))
+
+    def segment():
+        matcher.condense(buf, [0, 1, 2], real_x, real_y, None,
+                         model_factory=factory,
+                         rng=np.random.default_rng(1),
+                         deployed_model=deployed)
+
+    obs.shutdown()
+    obs.disable()
+    segment()  # warm up plans / arena before either timed mode
+    off_times, on_times = [], []
+    for _ in range(5):  # interleave so drift hits both modes equally
+        with scoped_policy("off"):
+            off_times.append(_timed(segment))
+        with scoped_policy("record"):
+            on_times.append(_timed(segment))
+    off, on = min(off_times), min(on_times)
+    assert on <= off * 1.05 + 0.010, (
+        f"health sentinel overhead too high: record {on * 1e3:.1f}ms vs "
+        f"off {off * 1e3:.1f}ms")
+
+
+@pytest.mark.perf_smoke
 def test_ledger_tracking_overhead_is_small():
     """Memory-ledger accounting must be invisible on the hot path: with
     telemetry disabled, a condense segment (including tracked buffer
